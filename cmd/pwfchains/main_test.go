@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSCUChain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "scu", "-n", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"system latency", "lifting verified", "W_0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFetchIncChain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "fetchinc", "-n", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ramanujan", "Lemma 12", "lifting verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunParallelChain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "parallel", "-n", "3", "-q", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Lemma 11") {
+		t.Errorf("missing Lemma 11 line:\n%s", buf.String())
+	}
+}
+
+func TestRunSystemOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "scu", "-n", "20", "-individual=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "lifting verified") {
+		t.Error("lifting ran despite -individual=false")
+	}
+}
+
+func TestRunIndividualTooLargeDegradesGracefully(t *testing.T) {
+	// n beyond the individual-chain cap must still print the system
+	// analysis and say why the lifting was skipped.
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "scu", "-n", "12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "individual chain skipped") {
+		t.Errorf("missing skip notice:\n%s", buf.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	for _, chain := range []string{"scu", "fetchinc", "parallel"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-chain", chain, "-n", "2", "-dot"}, &buf); err != nil {
+			t.Fatalf("%s: %v", chain, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+			t.Errorf("%s: not a DOT graph:\n%s", chain, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-chain", "nope", "-dot"}, &buf); err == nil {
+		t.Error("bad chain with -dot: nil error")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-chain", "nope"},
+		{"-chain", "scu", "-n", "0"},
+		{"-badflag"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: nil error", args)
+		}
+	}
+}

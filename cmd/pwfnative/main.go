@@ -1,0 +1,117 @@
+// Command pwfnative runs the real-hardware experiments of the paper's
+// appendix on this machine: schedule recording via atomic ticketing
+// (Figures 3 and 4) and the completion-rate sweep (Figure 5).
+//
+// Usage:
+//
+//	pwfnative -mode schedule -workers 8 -ops 200000
+//	pwfnative -mode rate -maxworkers 32 -ops 100000 [-algo counter|stack|queue]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+
+	"pwf/internal/native"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pwfnative:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pwfnative", flag.ContinueOnError)
+	var (
+		mode       = fs.String("mode", "schedule", "experiment: schedule, rate")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "workers for -mode schedule")
+		maxWorkers = fs.Int("maxworkers", 2*runtime.GOMAXPROCS(0), "largest worker count for -mode rate")
+		ops        = fs.Int("ops", 200000, "operations per worker")
+		algo       = fs.String("algo", "counter", "workload for -mode rate: counter, add, stack, queue")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "schedule":
+		return runSchedule(out, *workers, *ops)
+	case "rate":
+		return runRate(out, *maxWorkers, *ops, *algo)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runSchedule(out io.Writer, workers, ops int) error {
+	s, err := native.RecordSchedule(workers, ops)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d steps by %d workers (GOMAXPROCS=%d)\n\n",
+		s.Len(), workers, runtime.GOMAXPROCS(0))
+
+	fmt.Fprintln(out, "Figure 3: per-worker step shares (ideal = 1/n)")
+	ideal := 1 / float64(workers)
+	for w, share := range s.StepShares() {
+		fmt.Fprintf(out, "  worker %2d: %.4f  (ideal %.4f, deviation %+.4f)\n",
+			w, share, ideal, share-ideal)
+	}
+
+	fmt.Fprintln(out, "\nFigure 4: P(next step by w_j | current step by w_0)")
+	dist, err := s.NextStepDistribution(0)
+	if err != nil {
+		return err
+	}
+	for j, p := range dist {
+		fmt.Fprintf(out, "  next = %2d: %.4f\n", j, p)
+	}
+	return nil
+}
+
+func runRate(out io.Writer, maxWorkers, ops int, algo string) error {
+	measure, err := rateFunc(algo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figure 5: completion rate of %s vs worker count\n", algo)
+	fmt.Fprintf(out, "%8s %12s %14s %14s %12s\n",
+		"workers", "rate", "c/sqrt(n)", "worst c'/n", "elapsed")
+
+	var c, cWorst float64
+	for n := 1; n <= maxWorkers; n *= 2 {
+		res, err := measure(n, ops)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			c = res.Rate()
+			cWorst = res.Rate()
+		}
+		fmt.Fprintf(out, "%8d %12.6f %14.6f %14.6f %12v\n",
+			n, res.Rate(), c/math.Sqrt(float64(n)), cWorst/float64(n),
+			res.Elapsed.Round(1000))
+	}
+	return nil
+}
+
+func rateFunc(algo string) (func(workers, ops int) (native.RateResult, error), error) {
+	switch algo {
+	case "counter":
+		return native.MeasureCASCounterRate, nil
+	case "add":
+		return native.MeasureAddCounterRate, nil
+	case "stack":
+		return native.MeasureStackRate, nil
+	case "queue":
+		return native.MeasureQueueRate, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", algo)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "schedule", "-workers", "2", "-ops", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "worker  0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRateAllWorkloads(t *testing.T) {
+	for _, algo := range []string{"counter", "add", "stack", "queue"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			var buf bytes.Buffer
+			args := []string{"-mode", "rate", "-maxworkers", "2", "-ops", "2000", "-algo", algo}
+			if err := run(args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "Figure 5") {
+				t.Errorf("missing header:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "nope"},
+		{"-mode", "rate", "-algo", "nope"},
+		{"-mode", "schedule", "-workers", "0"},
+		{"-badflag"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: nil error", args)
+		}
+	}
+}

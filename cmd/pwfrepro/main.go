@@ -1,0 +1,67 @@
+// Command pwfrepro runs the full experiment suite reproducing every
+// figure and analytical claim of "Are Lock-Free Concurrent Algorithms
+// Practically Wait-Free?" and prints one table per experiment.
+//
+// Usage:
+//
+//	pwfrepro [-quick] [-seed N] [-only E3[,E7,...]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pwf/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pwfrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pwfrepro", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "run reduced experiment sizes")
+		seed  = fs.Uint64("seed", 1, "seed for all simulation randomness")
+		only  = fs.String("only", "", "comma-separated experiment ids to run (e.g. E3,E7)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := make(map[string]bool)
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, r := range exp.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		began := time.Now()
+		table, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", r.ID, r.Name, err)
+		}
+		if err := table.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s took %v)\n\n", r.ID, time.Since(began).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	return nil
+}

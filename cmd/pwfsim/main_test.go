@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{
+		"scu", "parallel", "fetchinc", "unbounded", "stack", "queue",
+		"rcu", "list", "hashset", "lfuniversal", "wfuniversal",
+	} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			args := []string{"-algo", algo, "-n", "4", "-steps", "20000"}
+			if algo == "parallel" {
+				args = append(args, "-q", "3")
+			}
+			if err := run(args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "completion rate") {
+				t.Errorf("missing report:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, s := range []string{"uniform", "roundrobin", "sticky:0.5", "lottery"} {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := run([]string{"-sched", s, "-n", "4", "-steps", "20000"}, &buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunWithCrashes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "8", "-crash", "4", "-steps", "20000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	tests := [][]string{
+		{"-algo", "nope"},
+		{"-sched", "nope"},
+		{"-sched", "sticky:abc"},
+		{"-sched", "sticky:1.5"},
+		{"-algo", "parallel", "-q", "0"},
+		{"-sched", "roundrobin", "-crash", "9", "-n", "8"},
+		{"-bogusflag"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(append(args, "-steps", "100"), &buf); err == nil {
+			t.Errorf("args %v: nil error", args)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Progress example: the Theorem 3 dichotomy, live.
+//
+// Three systems run side by side:
+//
+//  1. a *bounded* lock-free algorithm (SCU(0,1)) under the uniform
+//     stochastic scheduler — Theorem 3 says it is wait-free with
+//     probability 1, and indeed every process completes;
+//  2. the same algorithm under an adversary that never schedules its
+//     victim — θ = 0, and the victim starves, which is exactly what
+//     the stochastic threshold rules out;
+//  3. the *unbounded* lock-free Algorithm 1 under the uniform
+//     stochastic scheduler — Lemma 2 says bounded progress is
+//     necessary: despite the fair scheduler, one process monopolises
+//     the object and the rest starve.
+//
+// Run with: go run ./examples/progress
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "progress:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n     = 8
+		steps = 1_000_000
+	)
+
+	fmt.Printf("%-44s %8s %9s %8s\n", "system", "ops", "fairness", "starved")
+
+	// 1. Bounded lock-free + stochastic scheduler.
+	uniform, err := sched.NewUniform(n, rng.New(1))
+	if err != nil {
+		return err
+	}
+	if err := runCase("SCU(0,1), uniform stochastic (theta=1/n)",
+		boundedProcs(n), scu.SCULayout(1), uniform, steps); err != nil {
+		return err
+	}
+
+	// 2. Bounded lock-free + adversary.
+	adversary, err := sched.NewAdversarial(n, sched.SingleOut(0))
+	if err != nil {
+		return err
+	}
+	if err := runCase("SCU(0,1), adversary singling out p0 (theta=0)",
+		boundedProcs(n), scu.SCULayout(1), adversary, steps); err != nil {
+		return err
+	}
+
+	// 3. Unbounded lock-free + stochastic scheduler.
+	uniform2, err := sched.NewUniform(n, rng.New(2))
+	if err != nil {
+		return err
+	}
+	unbounded, err := scu.NewUnboundedGroup(n, 0, 0)
+	if err != nil {
+		return err
+	}
+	if err := runCase("Algorithm 1 (unbounded), uniform stochastic",
+		unbounded, scu.UnboundedLayout, uniform2, steps); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("takeaway: wait-free behaviour needs BOTH a stochastic scheduler (theta > 0)")
+	fmt.Println("AND a bounded minimal-progress algorithm — drop either and starvation returns.")
+	return nil
+}
+
+func boundedProcs(n int) []machine.Process {
+	procs, err := scu.NewSCUGroup(n, 0, 1, 0)
+	if err != nil {
+		// Static parameters; construction cannot fail at runtime.
+		panic(err)
+	}
+	return procs
+}
+
+func runCase(name string, procs []machine.Process, memSize int, s sched.Scheduler, steps uint64) error {
+	mem, err := shmem.New(memSize)
+	if err != nil {
+		return err
+	}
+	sim, err := machine.New(mem, procs, s)
+	if err != nil {
+		return err
+	}
+	if err := sim.Run(steps); err != nil {
+		return err
+	}
+	fmt.Printf("%-44s %8d %9.4f %8d\n",
+		name, sim.TotalCompletions(), sim.FairnessIndex(), len(sim.StarvedProcesses()))
+	return nil
+}

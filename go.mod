@@ -1,0 +1,3 @@
+module pwf
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package chains builds the paper's specific Markov chains exactly,
+// for small process counts:
+//
+//   - the SCU(0,1) scan-validate chains of Section 6.1.1: the
+//     individual chain over the 3^n − 1 extended-local-state vectors
+//     and the system chain over states (a, b);
+//   - the parallel-code chains M_I and M_S of Section 6.2;
+//   - the fetch-and-increment chains of Section 7.1: the individual
+//     chain over the 2^n − 1 non-empty "who holds the current value"
+//     subsets and the global chain over v_1 .. v_n.
+//
+// Each constructor also returns the lifting map onto its system/global
+// chain, so markov.VerifyLifting can check the paper's Lemmas 5, 10
+// and 13 numerically, and a per-state success probability from which
+// exact system and individual latencies follow.
+//
+// A note on ergodicity: the SCU and parallel chains as defined in the
+// paper change the number of pending CAS/steps by exactly one per
+// transition, so they are periodic with period 2 (and q,
+// respectively) — irreducible but not aperiodic. All quantities the
+// paper derives (stationary distribution, return times, latencies via
+// Theorem 1, liftings) only require irreducibility, so this does not
+// affect any result; it does mean StationarySolve must be used rather
+// than plain power iteration. The fetch-and-increment chains have a
+// self-loop at the winning state and are genuinely ergodic.
+package chains
+
+import (
+	"errors"
+	"fmt"
+
+	"pwf/internal/markov"
+)
+
+// Package errors.
+var (
+	ErrBadN      = errors.New("chains: process count out of supported range")
+	ErrBadParams = errors.New("chains: invalid parameters")
+)
+
+// Analysis bundles a chain with the success structure needed to read
+// latencies off its stationary distribution.
+type Analysis struct {
+	// Chain is the transition structure.
+	Chain *markov.Chain
+	// Success[i] is the probability that a transition taken from
+	// state i completes some operation.
+	Success []float64
+	// ProcSuccess[i][p], when non-nil, is the probability that a
+	// transition from state i completes an operation *by process p*
+	// (only individual chains carry this).
+	ProcSuccess [][]float64
+
+	stationary []float64
+}
+
+// Stationary returns (and caches) the chain's stationary distribution
+// computed by direct linear solve.
+func (a *Analysis) Stationary() ([]float64, error) {
+	if a.stationary == nil {
+		pi, err := a.Chain.StationarySolve()
+		if err != nil {
+			return nil, err
+		}
+		a.stationary = pi
+	}
+	out := make([]float64, len(a.stationary))
+	copy(out, a.stationary)
+	return out, nil
+}
+
+// SuccessRate returns μ, the stationary probability that a system step
+// completes some operation. The system latency is W = 1/μ.
+func (a *Analysis) SuccessRate() (float64, error) {
+	pi, err := a.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	if len(a.Success) != len(pi) {
+		return 0, fmt.Errorf("chains: success vector has %d entries for %d states",
+			len(a.Success), len(pi))
+	}
+	var mu float64
+	for i, p := range pi {
+		mu += p * a.Success[i]
+	}
+	return mu, nil
+}
+
+// SystemLatency returns W = 1/μ, the expected number of system steps
+// between two completions in stationarity.
+func (a *Analysis) SystemLatency() (float64, error) {
+	mu, err := a.SuccessRate()
+	if err != nil {
+		return 0, err
+	}
+	if mu <= 0 {
+		return 0, errors.New("chains: zero stationary success rate")
+	}
+	return 1 / mu, nil
+}
+
+// IndividualLatency returns W_p = 1/η_p for process p, where η_p is
+// the stationary probability that a step is a completion by p. It
+// requires ProcSuccess (individual chains only).
+func (a *Analysis) IndividualLatency(p int) (float64, error) {
+	if a.ProcSuccess == nil {
+		return 0, errors.New("chains: no per-process success structure")
+	}
+	pi, err := a.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	var eta float64
+	for i, prob := range pi {
+		row := a.ProcSuccess[i]
+		if p < 0 || p >= len(row) {
+			return 0, fmt.Errorf("chains: process %d out of range", p)
+		}
+		eta += prob * row[p]
+	}
+	if eta <= 0 {
+		return 0, fmt.Errorf("chains: process %d has zero stationary success rate", p)
+	}
+	return 1 / eta, nil
+}

@@ -1,0 +1,294 @@
+package chains
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pwf/internal/markov"
+)
+
+func TestFetchIncGlobalValidation(t *testing.T) {
+	if _, err := FetchIncGlobal(0); !errors.Is(err, ErrBadN) {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestFetchIncGlobalErgodic(t *testing.T) {
+	// The winning state v_1 has a self-loop, so the global chain is
+	// genuinely ergodic (Lemma 13).
+	for n := 1; n <= 10; n++ {
+		a, err := FetchIncGlobal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Chain.Ergodic() {
+			t.Fatalf("n=%d: global chain not ergodic", n)
+		}
+	}
+}
+
+func TestFetchIncGlobalSmallCases(t *testing.T) {
+	// n=1: single state with a self-loop, every step wins: W = 1.
+	a, err := FetchIncGlobal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.SystemLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Fatalf("n=1: W = %v, want 1", w)
+	}
+
+	// n=2 by hand: states v1, v2 with
+	// P(v1→v1) = 1/2, P(v1→v2) = 1/2, P(v2→v1) = 1.
+	// π = [2/3, 1/3]; μ = (2/3)(1/2) + (1/3)(1) = 2/3; W = 3/2.
+	a2, err := FetchIncGlobal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := a2.SystemLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w2-1.5) > 1e-10 {
+		t.Fatalf("n=2: W = %v, want 1.5", w2)
+	}
+}
+
+func TestFetchIncReturnTimeLemma12(t *testing.T) {
+	// Lemma 12: the expected return time W of the winning state v_1
+	// is at most 2√n. Also cross-check the return time computed from
+	// hitting times against 1/π (Theorem 1).
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		a, err := FetchIncGlobal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, err := a.Chain.ReturnTime(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret > 2*math.Sqrt(float64(n)) {
+			t.Fatalf("n=%d: return time %v exceeds 2√n = %v", n, ret, 2*math.Sqrt(float64(n)))
+		}
+		pi, err := a.Stationary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ret*pi[0]-1) > 1e-9 {
+			t.Fatalf("n=%d: return time %v inconsistent with π[v1] = %v", n, ret, pi[0])
+		}
+	}
+}
+
+func TestFetchIncReturnTimeEqualsSystemLatency(t *testing.T) {
+	// Every completion enters v_1, and every step from v_1 that wins
+	// re-enters v_1: the system latency equals the expected return
+	// time of v_1... verify the tight relationship W = E[T_{v1 v1}]
+	// numerically (both count expected steps between successes).
+	for _, n := range []int{2, 3, 5, 8} {
+		a, err := FetchIncGlobal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := a.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, err := a.Chain.ReturnTime(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(w-ret) > 1e-9 {
+			t.Fatalf("n=%d: W = %v but return time of v1 = %v", n, w, ret)
+		}
+	}
+}
+
+func TestFetchIncHittingZRecurrence(t *testing.T) {
+	z, err := FetchIncHittingZ(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 1 {
+		t.Fatalf("Z(0) = %v, want 1", z[0])
+	}
+	for i := 1; i < len(z); i++ {
+		want := float64(i)/4*z[i-1] + 1
+		if math.Abs(z[i]-want) > 1e-12 {
+			t.Fatalf("Z(%d) = %v, want %v", i, z[i], want)
+		}
+	}
+	if _, err := FetchIncHittingZ(0); !errors.Is(err, ErrBadN) {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestFetchIncZMatchesChainHittingTimes(t *testing.T) {
+	// Z(i) is the hitting time of v_1 from the state with n - i
+	// current processes, i.e. from chain state v_{n-i} (index n-i-1);
+	// and Z(0) counts the step from v_n. Cross-check against the
+	// chain's linear-solve hitting times: h[v_k] + ... careful: Z
+	// counts the step taken, so Z(i) = 1·P(win) + (1 + Z(i-1))·P(lose)
+	// which equals 1 + expected remaining; the chain hitting time
+	// h[v_k → v_1] equals Z(n-k) exactly.
+	const n = 6
+	a, err := FetchIncGlobal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.Chain.HittingTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := FetchIncHittingZ(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= n; k++ {
+		// From v_k (index k-1), i = n - k stale processes "extra".
+		if math.Abs(h[k-1]-z[n-k]) > 1e-9 {
+			t.Fatalf("h[v_%d] = %v, Z(%d) = %v", k, h[k-1], n-k, z[n-k])
+		}
+	}
+}
+
+func TestFetchIncZAgainstRamanujanQ(t *testing.T) {
+	// Z(n-1) = Q(n) exactly, and Q(n) → √(πn/2).
+	for _, n := range []int{2, 5, 10, 50, 200, 1000} {
+		z, err := FetchIncHittingZ(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := RamanujanQ(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(z[n-1]-q) > 1e-9*q {
+			t.Fatalf("n=%d: Z(n-1) = %v, Q(n) = %v", n, z[n-1], q)
+		}
+		asym := RamanujanQAsymptote(n)
+		if rel := math.Abs(q-asym) / asym; n >= 200 && rel > 0.05 {
+			t.Fatalf("n=%d: Q = %v vs asymptote %v (rel %v)", n, q, asym, rel)
+		}
+	}
+	if _, err := RamanujanQ(0); !errors.Is(err, ErrBadN) {
+		t.Errorf("Q(0): %v", err)
+	}
+}
+
+func TestFetchIncIndividualValidation(t *testing.T) {
+	if _, _, err := FetchIncIndividual(0); !errors.Is(err, ErrBadN) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, _, err := FetchIncIndividual(maxFetchIncIndividualN + 1); !errors.Is(err, ErrBadN) {
+		t.Errorf("n too big: %v", err)
+	}
+}
+
+func TestFetchIncIndividualStateCount(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		a, _, err := FetchIncIndividual(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Chain.N() != (1<<n)-1 {
+			t.Fatalf("n=%d: %d states, want 2^n-1", n, a.Chain.N())
+		}
+		if !a.Chain.Ergodic() {
+			t.Fatalf("n=%d: individual chain not ergodic", n)
+		}
+	}
+}
+
+func TestFetchIncLiftingLemma13(t *testing.T) {
+	// Lemma 13: f(S) = v_{|S|} is a lifting from the individual chain
+	// to the global chain.
+	for n := 2; n <= 8; n++ {
+		ind, lift, err := FetchIncIndividual(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		glob, err := FetchIncGlobal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := markov.VerifyLifting(ind.Chain, glob.Chain, lift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.MaxFlowError > 1e-9 || report.MaxMarginalError > 1e-9 {
+			t.Fatalf("n=%d: lifting errors flow=%v marginal=%v",
+				n, report.MaxFlowError, report.MaxMarginalError)
+		}
+	}
+}
+
+func TestFetchIncIndividualFairnessLemma14(t *testing.T) {
+	// Lemma 14: each winning state s_{p_i} has stationary mass
+	// π(v_1)/n, and W_i = n·W.
+	const n = 5
+	ind, lift, err := FetchIncIndividual(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := FetchIncGlobal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piInd, err := ind.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piGlob, err := glob.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singleton states: masks with one bit set.
+	for pid := 0; pid < n; pid++ {
+		mask := 1 << pid
+		idx := mask - 1
+		if lift[idx] != 0 {
+			t.Fatalf("singleton {%d} lifts to %d, want v_1", pid, lift[idx])
+		}
+		want := piGlob[0] / float64(n)
+		if math.Abs(piInd[idx]-want) > 1e-10 {
+			t.Fatalf("π(s_{p%d}) = %v, want π(v1)/n = %v", pid, piInd[idx], want)
+		}
+	}
+	w, err := glob.SystemLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < n; pid++ {
+		wi, err := ind.IndividualLatency(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(wi-float64(n)*w) > 1e-7 {
+			t.Fatalf("pid %d: W_i = %v, want n·W = %v", pid, wi, float64(n)*w)
+		}
+	}
+}
+
+func TestFetchIncCorollary3Scaling(t *testing.T) {
+	// Corollary 3: W_i = O(n√n); equivalently W = O(√n). Check the
+	// ratio W/√n is bounded across n.
+	for _, n := range []int{4, 16, 64, 128} {
+		a, err := FetchIncGlobal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := a.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := w / math.Sqrt(float64(n))
+		if ratio > 2 || ratio < 0.5 {
+			t.Fatalf("n=%d: W/√n = %v out of [0.5, 2]", n, ratio)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package chains
+
+import (
+	"fmt"
+	"strconv"
+
+	"pwf/internal/markov"
+)
+
+// maxParallelStates caps the chain sizes for the parallel-code chains
+// of Section 6.2 (M_I has q^n states; M_S has C(n+q-1, q-1)).
+const maxParallelStates = 20000
+
+// ParallelIndividual builds the individual chain M_I of Section 6.2:
+// states are counter vectors (C_1, ..., C_n) with C_i in {0, ..., q-1};
+// a step picks a process uniformly and advances its counter mod q. A
+// process completes when its counter wraps to 0. It returns the
+// Analysis (with per-process success structure) and the lifting map
+// onto ParallelSystem(n, q).
+func ParallelIndividual(n, q int) (*Analysis, []int, error) {
+	if n < 1 || q < 1 {
+		return nil, nil, fmt.Errorf("%w: n=%d q=%d", ErrBadParams, n, q)
+	}
+	m := 1
+	for i := 0; i < n; i++ {
+		m *= q
+		if m > maxParallelStates {
+			return nil, nil, fmt.Errorf("%w: q^n exceeds %d states", ErrBadN, maxParallelStates)
+		}
+	}
+
+	_, sysStates, err := ParallelSystem(n, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	sysIndex := make(map[string]int, len(sysStates))
+	for i, st := range sysStates {
+		sysIndex[compKey(st)] = i
+	}
+
+	p := make([][]float64, m)
+	success := make([]float64, m)
+	procSuccess := make([][]float64, m)
+	lift := make([]int, m)
+	fn := float64(n)
+	digits := make([]int, n)
+	for code := 0; code < m; code++ {
+		p[code] = make([]float64, m)
+		procSuccess[code] = make([]float64, n)
+
+		c := code
+		counts := make([]int, q)
+		for i := 0; i < n; i++ {
+			digits[i] = c % q
+			c /= q
+			counts[digits[i]]++
+		}
+		idx, ok := sysIndex[compKey(counts)]
+		if !ok {
+			return nil, nil, fmt.Errorf("chains: parallel state maps to missing composition %v", counts)
+		}
+		lift[code] = idx
+
+		pow := 1
+		for pid := 0; pid < n; pid++ {
+			d := digits[pid]
+			nd := (d + 1) % q
+			next := code + (nd-d)*pow
+			p[code][next] += 1 / fn
+			if nd == 0 {
+				// Counter wrapped: the operation completed.
+				success[code] += 1 / fn
+				procSuccess[code][pid] = 1 / fn
+			}
+			pow *= q
+		}
+	}
+
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parallel individual chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success, ProcSuccess: procSuccess}, lift, nil
+}
+
+// ParallelSystem builds the system chain M_S of Section 6.2: states
+// are occupancy vectors (v_0, ..., v_{q-1}) with Σ v_j = n, where v_j
+// counts the processes whose step counter is j. It returns the
+// Analysis and the state list.
+func ParallelSystem(n, q int) (*Analysis, [][]int, error) {
+	if n < 1 || q < 1 {
+		return nil, nil, fmt.Errorf("%w: n=%d q=%d", ErrBadParams, n, q)
+	}
+	states := compositions(n, q)
+	if len(states) > maxParallelStates {
+		return nil, nil, fmt.Errorf("%w: %d compositions exceed %d", ErrBadN, len(states), maxParallelStates)
+	}
+	index := make(map[string]int, len(states))
+	for i, st := range states {
+		index[compKey(st)] = i
+	}
+
+	m := len(states)
+	p := make([][]float64, m)
+	success := make([]float64, m)
+	fn := float64(n)
+	for i, st := range states {
+		p[i] = make([]float64, m)
+		for j := 0; j < q; j++ {
+			if st[j] == 0 {
+				continue
+			}
+			next := make([]int, q)
+			copy(next, st)
+			next[j]--
+			next[(j+1)%q]++
+			k, ok := index[compKey(next)]
+			if !ok {
+				return nil, nil, fmt.Errorf("chains: missing composition %v", next)
+			}
+			prob := float64(st[j]) / fn
+			p[i][k] += prob
+			if (j+1)%q == 0 {
+				success[i] += prob
+			}
+		}
+	}
+
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parallel system chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success}, states, nil
+}
+
+// compositions enumerates all length-q non-negative integer vectors
+// summing to n, in lexicographic order.
+func compositions(n, q int) [][]int {
+	var out [][]int
+	cur := make([]int, q)
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if pos == q-1 {
+			cur[pos] = left
+			st := make([]int, q)
+			copy(st, cur)
+			out = append(out, st)
+			return
+		}
+		for v := 0; v <= left; v++ {
+			cur[pos] = v
+			rec(pos+1, left-v)
+		}
+	}
+	rec(0, n)
+	return out
+}
+
+// compKey renders an occupancy vector as a map key.
+func compKey(v []int) string {
+	b := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		b = strconv.AppendInt(b, int64(x), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

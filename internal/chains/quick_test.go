@@ -1,0 +1,143 @@
+package chains
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests across the chain constructors.
+
+func TestQuickSCUSystemWellFormed(t *testing.T) {
+	// For any small n: the chain is irreducible, the stationary
+	// distribution sums to 1, and the success rate lies in (0, 1].
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		a, _, err := SCUSystem(n)
+		if err != nil {
+			return false
+		}
+		if !a.Chain.Irreducible() {
+			return false
+		}
+		pi, err := a.Stationary()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range pi {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		mu, err := a.SuccessRate()
+		return err == nil && mu > 0 && mu <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFetchIncWBelow2SqrtN(t *testing.T) {
+	// Lemma 12 as a property over arbitrary n in range.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		a, err := FetchIncGlobal(n)
+		if err != nil {
+			return false
+		}
+		w, err := a.SystemLatency()
+		if err != nil {
+			return false
+		}
+		return w <= 2*math.Sqrt(float64(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRamanujanQBracketsAsymptote(t *testing.T) {
+	// Q(n) sits within [asymptote - 1, asymptote] for all n >= 1:
+	// Q(n) = sqrt(pi n / 2) - 1/3 + O(1/sqrt(n)).
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		q, err := RamanujanQ(n)
+		if err != nil {
+			return false
+		}
+		asym := RamanujanQAsymptote(n)
+		return q <= asym && q >= asym-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHittingZMonotone(t *testing.T) {
+	// Z is increasing in i and bounded by Q(n).
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%200) + 2
+		z, err := FetchIncHittingZ(n)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if z[i] < z[i-1] {
+				return false
+			}
+		}
+		q, err := RamanujanQ(n)
+		if err != nil {
+			return false
+		}
+		return math.Abs(z[n-1]-q) < 1e-9*q+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParallelLatencyIsQ(t *testing.T) {
+	// Lemma 11 as a property over random small (n, q).
+	f := func(nRaw, qRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		q := int(qRaw%4) + 1
+		sys, _, err := ParallelSystem(n, q)
+		if err != nil {
+			return false
+		}
+		w, err := sys.SystemLatency()
+		if err != nil {
+			return false
+		}
+		return math.Abs(w-float64(q)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSCUQSSoloExact(t *testing.T) {
+	// Solo latency is exactly q + s + 1 for any (q, s) in range.
+	f := func(qRaw, sRaw uint8) bool {
+		q := int(qRaw % 6)
+		s := int(sRaw%4) + 1
+		a, err := SCUSystemQS(1, q, s)
+		if err != nil {
+			return false
+		}
+		w, err := a.SystemLatency()
+		if err != nil {
+			return false
+		}
+		return math.Abs(w-float64(q+s+1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

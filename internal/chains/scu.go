@@ -1,0 +1,221 @@
+package chains
+
+import (
+	"fmt"
+
+	"pwf/internal/markov"
+)
+
+// Extended local states of a process in the scan-validate loop
+// (Section 6.1.1): about to read, about to CAS with a stale value, or
+// about to CAS with the current value.
+const (
+	stateRead   = 0
+	stateOldCAS = 1
+	stateCCAS   = 2
+)
+
+// SCUSystemState is a state (a, b) of the system chain: a processes
+// about to read, b processes about to CAS with a stale value, and
+// n − a − b about to CAS with the current value.
+type SCUSystemState struct {
+	A int
+	B int
+}
+
+// String implements fmt.Stringer.
+func (s SCUSystemState) String() string { return fmt.Sprintf("(%d,%d)", s.A, s.B) }
+
+// maxSCUSystemN caps the system-chain size (states grow as ~n²/2; the
+// direct solve is cubic in states).
+const maxSCUSystemN = 128
+
+// SCUSystem builds the system chain of Section 6.1.1 for n processes
+// executing SCU(0, 1). The returned states slice gives the (a, b)
+// tuple of each chain state; the Analysis marks the success
+// transitions (a step by a process holding the current value).
+func SCUSystem(n int) (*Analysis, []SCUSystemState, error) {
+	if n < 1 || n > maxSCUSystemN {
+		return nil, nil, fmt.Errorf("%w: n=%d (1..%d)", ErrBadN, n, maxSCUSystemN)
+	}
+	// Enumerate states (a, b) with a + b <= n, excluding (0, n): the
+	// state where every process CASes with a stale value cannot occur.
+	var states []SCUSystemState
+	index := make(map[SCUSystemState]int)
+	for a := 0; a <= n; a++ {
+		for b := 0; a+b <= n; b++ {
+			if a == 0 && b == n {
+				continue
+			}
+			st := SCUSystemState{A: a, B: b}
+			index[st] = len(states)
+			states = append(states, st)
+		}
+	}
+
+	m := len(states)
+	p := make([][]float64, m)
+	success := make([]float64, m)
+	fn := float64(n)
+	for i, st := range states {
+		p[i] = make([]float64, m)
+		a, b := st.A, st.B
+		c := n - a - b
+		// A Read process steps: it has read the current value and is
+		// now about to CAS with it.
+		if a > 0 {
+			j, ok := index[SCUSystemState{A: a - 1, B: b}]
+			if !ok {
+				return nil, nil, fmt.Errorf("chains: missing state (%d,%d)", a-1, b)
+			}
+			p[i][j] += float64(a) / fn
+		}
+		// A stale-CAS process steps: its CAS fails and it goes back to
+		// reading.
+		if b > 0 {
+			j, ok := index[SCUSystemState{A: a + 1, B: b - 1}]
+			if !ok {
+				return nil, nil, fmt.Errorf("chains: missing state (%d,%d)", a+1, b-1)
+			}
+			p[i][j] += float64(b) / fn
+		}
+		// A current-CAS process steps: its CAS succeeds (a completion),
+		// it returns to reading, and every other current-CAS process
+		// becomes stale.
+		if c > 0 {
+			j, ok := index[SCUSystemState{A: a + 1, B: n - a - 1}]
+			if !ok {
+				return nil, nil, fmt.Errorf("chains: missing state (%d,%d)", a+1, n-a-1)
+			}
+			p[i][j] += float64(c) / fn
+			success[i] = float64(c) / fn
+		}
+	}
+
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scu system chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success}, states, nil
+}
+
+// maxSCUIndividualN caps the individual chain at 3^8 − 1 = 6560
+// states.
+const maxSCUIndividualN = 8
+
+// SCUIndividual builds the individual chain of Section 6.1.1 for n
+// processes executing SCU(0, 1): one state per vector of extended
+// local states in {Read, OldCAS, CCAS}^n, excluding the impossible
+// all-OldCAS vector — 3^n − 1 states. It returns the Analysis (with
+// per-process success structure) and the lifting map onto the system
+// chain returned by SCUSystem(n): lift[x] is the system-state index
+// of individual state x.
+func SCUIndividual(n int) (*Analysis, []int, error) {
+	if n < 1 || n > maxSCUIndividualN {
+		return nil, nil, fmt.Errorf("%w: n=%d (1..%d)", ErrBadN, n, maxSCUIndividualN)
+	}
+	pow3 := 1
+	for i := 0; i < n; i++ {
+		pow3 *= 3
+	}
+	// The all-OldCAS vector has every base-3 digit equal to 1.
+	excluded := 0
+	for i := 0; i < n; i++ {
+		excluded = excluded*3 + 1
+	}
+	// Compact indexing: skip the excluded code.
+	codeToIdx := func(code int) int {
+		if code < excluded {
+			return code
+		}
+		return code - 1
+	}
+
+	m := pow3 - 1
+	p := make([][]float64, m)
+	success := make([]float64, m)
+	procSuccess := make([][]float64, m)
+
+	_, sysStates, err := SCUSystem(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	sysIndex := make(map[SCUSystemState]int, len(sysStates))
+	for i, st := range sysStates {
+		sysIndex[st] = i
+	}
+	lift := make([]int, m)
+
+	digits := make([]int, n)
+	fn := float64(n)
+	for code := 0; code < pow3; code++ {
+		if code == excluded {
+			continue
+		}
+		idx := codeToIdx(code)
+		p[idx] = make([]float64, m)
+		procSuccess[idx] = make([]float64, n)
+
+		// Decode digits (process 0 is the least significant digit).
+		c := code
+		a, b := 0, 0
+		for i := 0; i < n; i++ {
+			digits[i] = c % 3
+			c /= 3
+			switch digits[i] {
+			case stateRead:
+				a++
+			case stateOldCAS:
+				b++
+			}
+		}
+		sysIdx, ok := sysIndex[SCUSystemState{A: a, B: b}]
+		if !ok {
+			return nil, nil, fmt.Errorf("chains: individual state maps to missing (%d,%d)", a, b)
+		}
+		lift[idx] = sysIdx
+
+		for pid := 0; pid < n; pid++ {
+			next := code
+			pow := 1
+			for i := 0; i < pid; i++ {
+				pow *= 3
+			}
+			switch digits[pid] {
+			case stateRead:
+				// Read → CCAS.
+				next += (stateCCAS - stateRead) * pow
+			case stateOldCAS:
+				// Failed CAS → Read.
+				next += (stateRead - stateOldCAS) * pow
+			case stateCCAS:
+				// Successful CAS: pid → Read; every other CCAS → OldCAS.
+				next = 0
+				mult := 1
+				for i := 0; i < n; i++ {
+					d := digits[i]
+					switch {
+					case i == pid:
+						d = stateRead
+					case d == stateCCAS:
+						d = stateOldCAS
+					}
+					next += d * mult
+					mult *= 3
+				}
+				success[idx] += 1 / fn
+				procSuccess[idx][pid] = 1 / fn
+			}
+			if next == excluded {
+				return nil, nil, fmt.Errorf("chains: transition reached all-OldCAS from code %d", code)
+			}
+			p[idx][codeToIdx(next)] += 1 / fn
+		}
+	}
+
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scu individual chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success, ProcSuccess: procSuccess}, lift, nil
+}

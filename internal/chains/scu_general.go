@@ -1,0 +1,167 @@
+package chains
+
+import (
+	"fmt"
+
+	"pwf/internal/markov"
+)
+
+// SCUSystemGeneral builds the system chain for SCU(0, s) with s scan
+// steps (Corollary 1), generalizing SCUSystem beyond s = 1. The
+// extended local state of a process must record not just its position
+// in the scan but whether the snapshot it took of the decision
+// register is already stale:
+//
+//	Scan_1          about to take the first scan read (reads R)
+//	ScanF_i, i=2..s about to take scan read i, snapshot still fresh
+//	ScanS_i, i=2..s about to take scan read i, snapshot already stale
+//	CASCur          about to CAS with the current value of R
+//	CASOld          about to CAS with a stale value
+//
+// A successful CAS by one process flips every fresh scanner to stale
+// and every other CASCur to CASOld; a process still at Scan_1 is
+// unaffected (it has not read R yet). The system chain tracks the
+// occupancy vector over these 2s + 1 classes.
+//
+// For s = 1 the class set degenerates to {Scan_1, CASCur, CASOld} and
+// the chain coincides with SCUSystem (tests verify this).
+func SCUSystemGeneral(n, s int) (*Analysis, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadN, n)
+	}
+	if s < 1 {
+		return nil, fmt.Errorf("%w: s=%d", ErrBadParams, s)
+	}
+	classes := 2*s + 1
+	if est := estimateCompositions(n, classes); est > maxParallelStates {
+		return nil, fmt.Errorf("%w: ~%d states exceed %d", ErrBadN, est, maxParallelStates)
+	}
+
+	// Class indices.
+	const scan1 = 0
+	scanF := func(i int) int { return 1 + (i - 2) }           // i in 2..s
+	scanS := func(i int) int { return 1 + (s - 1) + (i - 2) } // i in 2..s
+	casCur := 2*s - 1
+	casOld := 2 * s
+
+	// Enumerate states reachable from the initial all-Scan_1 state by
+	// BFS; the full composition space contains unreachable states
+	// (e.g. all-CASOld) that would break irreducibility.
+	initial := make([]int, classes)
+	initial[scan1] = n
+
+	index := map[string]int{compKey(initial): 0}
+	states := [][]int{initial}
+	type edge struct {
+		from, to int
+		prob     float64
+		success  bool
+	}
+	var edges []edge
+	fn := float64(n)
+
+	intern := func(v []int) int {
+		key := compKey(v)
+		if idx, ok := index[key]; ok {
+			return idx
+		}
+		idx := len(states)
+		index[key] = idx
+		cp := make([]int, classes)
+		copy(cp, v)
+		states = append(states, cp)
+		return idx
+	}
+
+	for cur := 0; cur < len(states); cur++ {
+		st := states[cur]
+		// A scheduled process belongs to class c with prob st[c]/n.
+		for c := 0; c < classes; c++ {
+			if st[c] == 0 {
+				continue
+			}
+			next := make([]int, classes)
+			copy(next, st)
+			next[c]--
+			success := false
+			switch {
+			case c == scan1:
+				if s == 1 {
+					next[casCur]++
+				} else {
+					next[scanF(2)]++
+				}
+			case c >= scanF(2) && s > 1 && c <= scanF(s):
+				i := c - 1 + 2 // recover scan position
+				if i == s {
+					next[casCur]++
+				} else {
+					next[scanF(i+1)]++
+				}
+			case s > 1 && c >= scanS(2) && c <= scanS(s):
+				i := c - (1 + (s - 1)) + 2
+				if i == s {
+					next[casOld]++
+				} else {
+					next[scanS(i+1)]++
+				}
+			case c == casCur:
+				// Successful CAS: winner restarts at Scan_1; every
+				// fresh scanner past its first read goes stale; every
+				// other CASCur goes stale.
+				success = true
+				next[scan1]++
+				for i := 2; i <= s; i++ {
+					next[scanS(i)] += next[scanF(i)]
+					next[scanF(i)] = 0
+				}
+				next[casOld] += next[casCur]
+				next[casCur] = 0
+			case c == casOld:
+				// Failed CAS: restart the scan.
+				next[scan1]++
+			default:
+				return nil, fmt.Errorf("chains: unmapped class %d (s=%d)", c, s)
+			}
+			edges = append(edges, edge{
+				from:    cur,
+				to:      intern(next),
+				prob:    float64(st[c]) / fn,
+				success: success,
+			})
+		}
+	}
+
+	m := len(states)
+	p := make([][]float64, m)
+	for i := range p {
+		p[i] = make([]float64, m)
+	}
+	success := make([]float64, m)
+	for _, e := range edges {
+		p[e.from][e.to] += e.prob
+		if e.success {
+			success[e.from] += e.prob
+		}
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("scu general system chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success}, nil
+}
+
+// estimateCompositions returns C(n+k-1, k-1) saturating at a large
+// bound, used only for the size guard.
+func estimateCompositions(n, k int) int {
+	// Compute the binomial with overflow saturation.
+	const maxEst = 1 << 30
+	result := 1
+	for i := 1; i < k; i++ {
+		result = result * (n + i) / i
+		if result > maxEst {
+			return maxEst
+		}
+	}
+	return result
+}

@@ -1,0 +1,163 @@
+package chains
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+func TestSCUSystemGeneralValidation(t *testing.T) {
+	if _, err := SCUSystemGeneral(0, 1); !errors.Is(err, ErrBadN) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := SCUSystemGeneral(2, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("s=0: %v", err)
+	}
+	if _, err := SCUSystemGeneral(200, 8); !errors.Is(err, ErrBadN) {
+		t.Errorf("huge state space: %v", err)
+	}
+}
+
+func TestSCUSystemGeneralMatchesSpecialCaseS1(t *testing.T) {
+	// For s = 1 the general construction must agree with SCUSystem.
+	for n := 1; n <= 10; n++ {
+		gen, err := SCUSystemGeneral(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _, err := SCUSystem(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wGen, err := gen.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wSpec, err := spec.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(wGen-wSpec) > 1e-9 {
+			t.Fatalf("n=%d: general W %v != special W %v", n, wGen, wSpec)
+		}
+	}
+}
+
+func TestSCUSystemGeneralReachableStatesOnly(t *testing.T) {
+	// The BFS construction keeps the chain irreducible.
+	for _, tc := range []struct{ n, s int }{{2, 2}, {3, 2}, {2, 3}, {4, 2}} {
+		gen, err := SCUSystemGeneral(tc.n, tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gen.Chain.Irreducible() {
+			t.Fatalf("n=%d s=%d: chain not irreducible", tc.n, tc.s)
+		}
+	}
+}
+
+func TestSCUSystemGeneralSolo(t *testing.T) {
+	// n=1: the solo process takes s scan reads plus one CAS per op.
+	for s := 1; s <= 5; s++ {
+		gen, err := SCUSystemGeneral(1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := gen.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(w-float64(s+1)) > 1e-9 {
+			t.Fatalf("s=%d: solo W = %v, want %d", s, w, s+1)
+		}
+	}
+}
+
+func TestSCUSystemGeneralMatchesSimulation(t *testing.T) {
+	// The exact chain must predict the simulated SCU(0, s) latency.
+	for _, tc := range []struct{ n, s int }{{4, 2}, {8, 2}, {4, 3}} {
+		gen, err := SCUSystemGeneral(tc.n, tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := gen.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mem, err := shmem.New(scu.SCULayout(tc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs, err := scu.NewSCUGroup(tc.n, 0, tc.s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := sched.NewUniform(tc.n, rng.New(uint64(tc.n*100+tc.s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := machine.New(mem, procs, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(50000); err != nil {
+			t.Fatal(err)
+		}
+		sim.ResetMetrics()
+		if err := sim.Run(1000000); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-w) / w; rel > 0.02 {
+			t.Fatalf("n=%d s=%d: sim W %v vs exact %v (rel %v)", tc.n, tc.s, got, w, rel)
+		}
+	}
+}
+
+func TestSCUSystemGeneralScalesWithS(t *testing.T) {
+	// Corollary 1: W = O(s·√n); at fixed n, W grows at most linearly
+	// in s and at least proportionally to s/2. n and s are kept small
+	// because the state space (compositions of n into 2s+1 classes)
+	// and the cubic solve grow quickly.
+	const n = 6
+	var prev float64
+	for s := 1; s <= 3; s++ {
+		gen, err := SCUSystemGeneral(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := gen.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > 1 {
+			growth := w / prev
+			if growth < 1.05 || growth > 2.5 {
+				t.Fatalf("s=%d: W grew by factor %v from s-1", s, growth)
+			}
+		}
+		prev = w
+	}
+}
+
+func TestEstimateCompositions(t *testing.T) {
+	if got := estimateCompositions(2, 2); got != 3 {
+		t.Fatalf("C(3,1) = %d, want 3", got)
+	}
+	if got := estimateCompositions(4, 3); got != 15 {
+		t.Fatalf("C(6,2) = %d, want 15", got)
+	}
+	if got := estimateCompositions(1000, 20); got != 1<<30 {
+		t.Fatalf("saturation = %d", got)
+	}
+}

@@ -1,0 +1,155 @@
+package chains
+
+import (
+	"fmt"
+
+	"pwf/internal/markov"
+)
+
+// SCUSystemQS builds the system chain for the full class SCU(q, s):
+// a preamble of q independent steps followed by the s-step
+// scan-and-validate loop. It generalizes SCUSystemGeneral (which is
+// the q = 0 case) and closes the loop on Theorem 4's O(q + s√n)
+// bound: the exact latency of any member of the class, for small n.
+//
+// Extended local classes, in order:
+//
+//	Pre_1 .. Pre_q   preamble steps (unaffected by other processes)
+//	Scan_1           first scan read (reads the decision register R)
+//	ScanF_i, i=2..s  scan read i with a fresh snapshot
+//	ScanS_i, i=2..s  scan read i with a stale snapshot
+//	CASCur           about to CAS with the current value
+//	CASOld           about to CAS with a stale value
+//
+// A winner restarts at Pre_1 (the next operation's preamble); a
+// failed CAS restarts at Scan_1 only, matching Algorithm 2 (the
+// preamble is not re-run on validation failure).
+func SCUSystemQS(n, q, s int) (*Analysis, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadN, n)
+	}
+	if q < 0 || s < 1 {
+		return nil, fmt.Errorf("%w: q=%d s=%d", ErrBadParams, q, s)
+	}
+	classes := q + 2*s + 1
+	if est := estimateCompositions(n, classes); est > maxParallelStates {
+		return nil, fmt.Errorf("%w: ~%d states exceed %d", ErrBadN, est, maxParallelStates)
+	}
+
+	// Class indices.
+	pre := func(i int) int { return i - 1 }             // i in 1..q
+	scan1 := q                                          //
+	scanF := func(i int) int { return q + 1 + (i - 2) } // i in 2..s
+	scanS := func(i int) int { return q + s + (i - 2) } // i in 2..s
+	casCur := q + 2*s - 1                               //
+	casOld := q + 2*s                                   //
+	restart := scan1                                    // target after a win
+	if q > 0 {
+		restart = pre(1)
+	}
+
+	initial := make([]int, classes)
+	initial[restart] = n
+
+	index := map[string]int{compKey(initial): 0}
+	states := [][]int{initial}
+	type edge struct {
+		from, to int
+		prob     float64
+		success  bool
+	}
+	var edges []edge
+	fn := float64(n)
+
+	intern := func(v []int) int {
+		key := compKey(v)
+		if idx, ok := index[key]; ok {
+			return idx
+		}
+		idx := len(states)
+		index[key] = idx
+		cp := make([]int, classes)
+		copy(cp, v)
+		states = append(states, cp)
+		return idx
+	}
+
+	for cur := 0; cur < len(states); cur++ {
+		st := states[cur]
+		for c := 0; c < classes; c++ {
+			if st[c] == 0 {
+				continue
+			}
+			next := make([]int, classes)
+			copy(next, st)
+			next[c]--
+			success := false
+			switch {
+			case q > 0 && c <= pre(q):
+				// Preamble step i -> i+1, or into the scan.
+				if c == pre(q) {
+					next[scan1]++
+				} else {
+					next[c+1]++
+				}
+			case c == scan1:
+				if s == 1 {
+					next[casCur]++
+				} else {
+					next[scanF(2)]++
+				}
+			case s > 1 && c >= scanF(2) && c <= scanF(s):
+				i := c - q - 1 + 2
+				if i == s {
+					next[casCur]++
+				} else {
+					next[scanF(i+1)]++
+				}
+			case s > 1 && c >= scanS(2) && c <= scanS(s):
+				i := c - q - s + 2
+				if i == s {
+					next[casOld]++
+				} else {
+					next[scanS(i+1)]++
+				}
+			case c == casCur:
+				success = true
+				next[restart]++
+				for i := 2; i <= s; i++ {
+					next[scanS(i)] += next[scanF(i)]
+					next[scanF(i)] = 0
+				}
+				next[casOld] += next[casCur]
+				next[casCur] = 0
+			case c == casOld:
+				next[scan1]++
+			default:
+				return nil, fmt.Errorf("chains: unmapped class %d (q=%d s=%d)", c, q, s)
+			}
+			edges = append(edges, edge{
+				from:    cur,
+				to:      intern(next),
+				prob:    float64(st[c]) / fn,
+				success: success,
+			})
+		}
+	}
+
+	m := len(states)
+	p := make([][]float64, m)
+	for i := range p {
+		p[i] = make([]float64, m)
+	}
+	success := make([]float64, m)
+	for _, e := range edges {
+		p[e.from][e.to] += e.prob
+		if e.success {
+			success[e.from] += e.prob
+		}
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("scu(q,s) system chain: %w", err)
+	}
+	return &Analysis{Chain: chain, Success: success}, nil
+}

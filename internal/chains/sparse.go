@@ -1,0 +1,117 @@
+package chains
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sparse stationary analysis of the SCU(0,1) system chain for large
+// n. The dense solver is cubic in the ~n²/2 states, capping exact
+// results near n = 64; the system chain has at most three successors
+// per state, so a sparse fixed-point iteration reaches n in the
+// hundreds.
+//
+// The chain is periodic (period 2), so plain power iteration
+// oscillates; the iteration therefore uses the *lazy* chain
+// (P + I)/2, which is aperiodic and has the same stationary
+// distribution.
+
+// ErrNoSparseConvergence is returned when the lazy iteration fails to
+// reach the tolerance within its iteration budget.
+var ErrNoSparseConvergence = errors.New("chains: sparse stationary iteration did not converge")
+
+// sparseEntry is one transition.
+type sparseEntry struct {
+	to int32
+	p  float64
+}
+
+// SCUSystemLatencyLarge computes the exact system latency W of
+// SCU(0, 1) with n processes using the sparse lazy iteration, with
+// stationarity tolerance tol (max-norm residual of πP − π) and an
+// iteration budget.
+func SCUSystemLatencyLarge(n int, tol float64, maxIter int) (float64, error) {
+	if n < 1 || n > 2048 {
+		return 0, fmt.Errorf("%w: n=%d (1..2048)", ErrBadN, n)
+	}
+	if tol <= 0 {
+		return 0, errors.New("chains: tolerance must be positive")
+	}
+	if maxIter < 1 {
+		return 0, errors.New("chains: maxIter must be positive")
+	}
+
+	// Enumerate states (a, b), a+b <= n, excluding (0, n).
+	type state struct{ a, b int }
+	index := make(map[state]int32)
+	var states []state
+	for a := 0; a <= n; a++ {
+		for b := 0; a+b <= n; b++ {
+			if a == 0 && b == n {
+				continue
+			}
+			index[state{a, b}] = int32(len(states))
+			states = append(states, state{a, b})
+		}
+	}
+	m := len(states)
+	rows := make([][]sparseEntry, m)
+	success := make([]float64, m)
+	fn := float64(n)
+	for i, st := range states {
+		a, b := st.a, st.b
+		c := n - a - b
+		var row []sparseEntry
+		if a > 0 {
+			row = append(row, sparseEntry{to: index[state{a - 1, b}], p: float64(a) / fn})
+		}
+		if b > 0 {
+			row = append(row, sparseEntry{to: index[state{a + 1, b - 1}], p: float64(b) / fn})
+		}
+		if c > 0 {
+			row = append(row, sparseEntry{to: index[state{a + 1, n - a - 1}], p: float64(c) / fn})
+			success[i] = float64(c) / fn
+		}
+		rows[i] = row
+	}
+
+	// Lazy power iteration: v ← (vP + v) / 2.
+	cur := make([]float64, m)
+	next := make([]float64, m)
+	cur[index[state{n, 0}]] = 1
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i, vi := range cur {
+			if vi == 0 {
+				continue
+			}
+			half := vi / 2
+			next[i] += half
+			for _, e := range rows[i] {
+				next[e.to] += half * e.p
+			}
+		}
+		// Residual of the ORIGINAL chain: ‖vP − v‖∞ = 2·‖vLazy − v‖∞.
+		var diff float64
+		for i := range next {
+			if d := math.Abs(next[i] - cur[i]); d > diff {
+				diff = d
+			}
+		}
+		cur, next = next, cur
+		if 2*diff < tol {
+			var mu float64
+			for i, vi := range cur {
+				mu += vi * success[i]
+			}
+			if mu <= 0 {
+				return 0, errors.New("chains: zero stationary success rate")
+			}
+			return 1 / mu, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: n=%d after %d iterations", ErrNoSparseConvergence, n, maxIter)
+}

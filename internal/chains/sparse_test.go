@@ -1,0 +1,69 @@
+package chains
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSparseValidation(t *testing.T) {
+	if _, err := SCUSystemLatencyLarge(0, 1e-10, 1000); !errors.Is(err, ErrBadN) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := SCUSystemLatencyLarge(4, 0, 1000); err == nil {
+		t.Error("tol=0: nil error")
+	}
+	if _, err := SCUSystemLatencyLarge(4, 1e-10, 0); err == nil {
+		t.Error("maxIter=0: nil error")
+	}
+	if _, err := SCUSystemLatencyLarge(4, 1e-30, 3); !errors.Is(err, ErrNoSparseConvergence) {
+		t.Errorf("tiny budget: %v", err)
+	}
+}
+
+func TestSparseMatchesDenseSolve(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		dense, _, err := SCUSystem(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wDense, err := dense.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wSparse, err := SCUSystemLatencyLarge(n, 1e-12, 5000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(wSparse-wDense) / wDense; rel > 1e-6 {
+			t.Fatalf("n=%d: sparse %v vs dense %v (rel %v)", n, wSparse, wDense, rel)
+		}
+	}
+}
+
+func TestSparseLargeNSqrtScaling(t *testing.T) {
+	// The point of the sparse solver: exact W far beyond the dense
+	// cap, confirming the √n scaling with exact values.
+	w128, err := SCUSystemLatencyLarge(128, 1e-10, 5000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w512, err := SCUSystemLatencyLarge(512, 1e-10, 5000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := math.Log(w512/w128) / math.Log(4)
+	if math.Abs(slope-0.5) > 0.05 {
+		t.Fatalf("exact log-log slope over n=128..512 is %v, want ~0.5 (W: %v, %v)",
+			slope, w128, w512)
+	}
+	for _, tc := range []struct {
+		n int
+		w float64
+	}{{128, w128}, {512, w512}} {
+		ratio := tc.w / math.Sqrt(float64(tc.n))
+		if ratio < 1 || ratio > 3 {
+			t.Fatalf("n=%d: W/√n = %v outside [1, 3]", tc.n, ratio)
+		}
+	}
+}

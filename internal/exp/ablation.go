@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// SchedulerAblation is the E13 design-choice ablation from DESIGN.md:
+// the same SCU(0,1) workload under the uniform stochastic scheduler,
+// lottery scheduling, a sticky (locally correlated) scheduler, the
+// deterministic round-robin baseline, and a process-singling
+// adversary. The stochastic schedulers all yield fair, wait-free-like
+// behaviour with √n-scaling latency; the adversary does not — the
+// point of the paper's model.
+func SchedulerAblation(cfg Config) (*Table, error) {
+	n := cfg.num(16, 8)
+	window := cfg.steps(2000000, 200000)
+
+	type schedCase struct {
+		name  string
+		build func() (sched.Scheduler, error)
+	}
+	cases := []schedCase{
+		{"uniform", func() (sched.Scheduler, error) {
+			return sched.NewUniform(n, rng.New(cfg.Seed))
+		}},
+		{"lottery 2:1 tickets", func() (sched.Scheduler, error) {
+			tickets := make([]int, n)
+			for i := range tickets {
+				tickets[i] = 1
+			}
+			for i := 0; i < n/2; i++ {
+				tickets[i] = 2
+			}
+			return sched.NewLottery(tickets, rng.New(cfg.Seed+1))
+		}},
+		{"sticky rho=0.5", func() (sched.Scheduler, error) {
+			return sched.NewSticky(n, 0.5, rng.New(cfg.Seed+2))
+		}},
+		{"sticky rho=0.95", func() (sched.Scheduler, error) {
+			return sched.NewSticky(n, 0.95, rng.New(cfg.Seed+3))
+		}},
+		{"round-robin", func() (sched.Scheduler, error) {
+			return sched.NewRoundRobin(n)
+		}},
+		{"adversary: single out p0", func() (sched.Scheduler, error) {
+			return sched.NewAdversarial(n, sched.SingleOut(0))
+		}},
+	}
+
+	t := &Table{
+		ID:    "E13",
+		Title: "Ablation: scheduler model vs progress and latency (SCU(0,1))",
+		Header: []string{
+			"scheduler", "theta", "W sim", "fairness index", "starved",
+		},
+	}
+	for _, tc := range cases {
+		s, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		mem, err := shmem.New(scu.SCULayout(1))
+		if err != nil {
+			return nil, err
+		}
+		procs, err := scu.NewSCUGroup(n, 0, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := machine.New(mem, procs, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.Run(window / 10); err != nil {
+			return nil, err
+		}
+		sim.ResetMetrics()
+		if err := sim.Run(window); err != nil {
+			return nil, err
+		}
+		w, err := sim.SystemLatency()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.name, s.Threshold(), w, sim.FairnessIndex(), len(sim.StarvedProcesses()))
+	}
+	t.Note = "every theta > 0 scheduler keeps all processes progressing; stickiness even " +
+		"LOWERS latency (consecutive steps finish an operation solo) while preserving fairness; " +
+		"deterministic schedules — round-robin included — phase-lock with the scan-validate loop " +
+		"so a single process wins every CAS: randomness, not mere step-fairness, is what makes " +
+		"lock-free practically wait-free"
+	return t, nil
+}

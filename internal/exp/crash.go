@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"pwf/internal/chains"
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// CrashLatency reproduces Corollary 2: with k ≤ n correct processes,
+// the stationary latencies depend on k, not n. We run SCU(0,1) with n
+// processes, crash n−k of them, and compare the measured system
+// latency with the k-process (and n-process) exact chain values.
+func CrashLatency(cfg Config) (*Table, error) {
+	n := cfg.num(32, 12)
+	window := cfg.steps(2000000, 200000)
+
+	ks := []int{n, n / 2, n / 4}
+	t := &Table{
+		ID:    "E12",
+		Title: "Corollary 2: latency depends on the number of correct processes k",
+		Header: []string{
+			"n", "k correct", "W sim", "W exact(k)", "W exact(n)",
+		},
+	}
+	for _, k := range ks {
+		if k < 1 {
+			continue
+		}
+		mem, err := shmem.New(scu.SCULayout(1))
+		if err != nil {
+			return nil, err
+		}
+		procs, err := scu.NewSCUGroup(n, 0, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		u, err := sched.NewUniform(n, rng.New(cfg.Seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
+		for pid := k; pid < n; pid++ {
+			if err := u.Crash(pid); err != nil {
+				return nil, fmt.Errorf("crash %d: %w", pid, err)
+			}
+		}
+		sim, err := machine.New(mem, procs, u)
+		if err != nil {
+			return nil, err
+		}
+		wSim, _, err := measureLatencies(sim, window/10, window)
+		if err != nil {
+			return nil, err
+		}
+
+		exactK, err := exactSCULatency(k)
+		if err != nil {
+			return nil, err
+		}
+		exactN, err := exactSCULatency(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, k, wSim, exactK, exactN)
+	}
+	t.Note = "the simulated latency with n-k crashed processes matches the exact " +
+		"k-process chain, not the n-process one: stationary behaviour sees only correct processes"
+	return t, nil
+}
+
+func exactSCULatency(k int) (float64, error) {
+	sys, _, err := chains.SCUSystem(k)
+	if err != nil {
+		return 0, err
+	}
+	return sys.SystemLatency()
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"pwf/internal/machine"
+	"pwf/internal/native"
+	"pwf/internal/progress"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// OpLatencyDistribution (E16) reproduces the practitioner's view the
+// paper cites (Al-Bahra [1, Fig. 6]): the distribution of individual
+// operation costs for lock-free structures. "Practically wait-free"
+// means this distribution has a short tail — most operations finish in
+// a handful of steps and even the observed maximum is modest, despite
+// the worst case being unbounded in theory.
+//
+// Rows: the native CAS counter and Treiber stack (steps per single
+// operation) and the simulated Treiber stack under the uniform
+// stochastic scheduler (system steps between a process's consecutive
+// completions).
+func OpLatencyDistribution(cfg Config) (*Table, error) {
+	workers := cfg.num(8, 4)
+	ops := cfg.num(100000, 10000)
+	simSteps := cfg.steps(1000000, 100000)
+
+	t := &Table{
+		ID:    "E16",
+		Title: "Per-operation latency distribution (cf. Al-Bahra Fig. 6)",
+		Header: []string{
+			"workload", "mean", "p50", "p90", "p99", "max",
+		},
+	}
+
+	// Native CAS counter.
+	var counter native.CASCounter
+	counterDist, err := native.MeasureStepsDistribution(workers, ops, func(int) native.Op {
+		return func() uint64 {
+			_, steps := counter.Inc()
+			return steps
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := addDistRow(t, "native CAS counter (steps/op)", counterDist); err != nil {
+		return nil, err
+	}
+
+	// Native Treiber stack.
+	var stack native.Stack[int]
+	stackDist, err := native.MeasureStepsDistribution(workers, ops, func(w int) native.Op {
+		push := true
+		return func() uint64 {
+			var steps uint64
+			if push {
+				steps = stack.Push(w)
+			} else {
+				_, _, steps = stack.Pop()
+			}
+			push = !push
+			return steps
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := addDistRow(t, "native Treiber stack (steps/op)", stackDist); err != nil {
+		return nil, err
+	}
+
+	// Simulated Treiber stack: per-process completion gaps.
+	const poolSize = 32
+	st, err := scu.NewStack(workers, poolSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := shmem.New(scu.StackLayout(workers, poolSize))
+	if err != nil {
+		return nil, err
+	}
+	procs, err := st.Processes()
+	if err != nil {
+		return nil, err
+	}
+	u, err := sched.NewUniform(workers, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sim, err := machine.New(mem, procs, u)
+	if err != nil {
+		return nil, err
+	}
+	var collector progress.Collector
+	sim.SetCompletionHook(collector.Observe)
+	if err := sim.Run(simSteps); err != nil {
+		return nil, err
+	}
+	if st.Violations() != 0 || st.Err() != nil {
+		return nil, fmt.Errorf("simulated stack misbehaved: %d violations, %v",
+			st.Violations(), st.Err())
+	}
+	trace, err := collector.Trace(workers, sim.Steps())
+	if err != nil {
+		return nil, err
+	}
+	var row []any
+	row = append(row, "simulated stack (system steps/gap)")
+	mean := float64(sim.Steps()) / float64(sim.TotalCompletions()) * float64(workers)
+	row = append(row, mean)
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		g, err := trace.GapQuantile(q)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, g)
+	}
+	t.AddRow(row...)
+
+	t.Note = "short tails everywhere: p99 stays within a small multiple of the median and " +
+		"the observed maximum is finite and modest — the empirical content of " +
+		"\"lock-free behaves practically wait-free\" (native columns flatten to the " +
+		"uncontended cost on a single-core host)"
+	return t, nil
+}
+
+func addDistRow(t *Table, name string, d *native.StepsDistribution) error {
+	row := []any{name, d.Mean()}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v, err := d.Quantile(q)
+		if err != nil {
+			return err
+		}
+		row = append(row, v)
+	}
+	row = append(row, d.Max())
+	t.AddRow(row...)
+	return nil
+}

@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := r.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s (%s): %v", r.ID, r.Name, err)
+			}
+			if table.ID != r.ID {
+				t.Errorf("table ID %q, want %q", table.ID, r.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Error("no rows")
+			}
+			if len(table.Header) == 0 {
+				t.Error("no header")
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(table.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(buf.String(), r.ID) {
+				t.Error("render missing experiment id")
+			}
+		})
+	}
+}
+
+func TestAllIDsUniqueAndOrdered(t *testing.T) {
+	runners := All()
+	seen := make(map[string]bool)
+	for i, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		want := "E" + strconv.Itoa(i+1)
+		if r.ID != want {
+			t.Errorf("runner %d has id %s, want %s", i, r.ID, want)
+		}
+		if r.Run == nil {
+			t.Errorf("%s has nil Run", r.ID)
+		}
+	}
+	if len(runners) != 17 {
+		t.Fatalf("%d runners, want 17", len(runners))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID:     "EX",
+		Title:  "test",
+		Note:   "a note",
+		Header: []string{"col", "value"},
+	}
+	table.AddRow("a", 1.234567)
+	table.AddRow("bb", 42)
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX — test", "col", "1.235", "42", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if err := table.Render(nil); err == nil {
+		t.Error("nil writer: nil error")
+	}
+}
+
+func TestTableAddRowFormatsFloats(t *testing.T) {
+	table := &Table{}
+	table.AddRow(float64(0.123456789), float32(2.5), "x", 7)
+	row := table.Rows[0]
+	if row[0] != "0.1235" {
+		t.Errorf("float64 cell = %q", row[0])
+	}
+	if row[1] != "2.5" {
+		t.Errorf("float32 cell = %q", row[1])
+	}
+	if row[2] != "x" || row[3] != "7" {
+		t.Errorf("cells = %v", row)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	full := Config{Quick: false}
+	quick := Config{Quick: true}
+	if full.steps(100, 10) != 100 || quick.steps(100, 10) != 10 {
+		t.Error("steps helper wrong")
+	}
+	if full.num(100, 10) != 100 || quick.num(100, 10) != 10 {
+		t.Error("num helper wrong")
+	}
+}
+
+func TestFig5PredictionShape(t *testing.T) {
+	// The Figure 5 experiment must show the simulated rate decaying
+	// slower than 1/n (the lock-free counter is better than worst
+	// case) and roughly tracking 1/sqrt(n).
+	table, err := Fig5CompletionRate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	first := table.Rows[0]
+	last := table.Rows[len(table.Rows)-1]
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	simFirst, simLast := parse(first[1]), parse(last[1])
+	worstLast := parse(last[4])
+	if simLast >= simFirst {
+		t.Errorf("rate did not decay: %v -> %v", simFirst, simLast)
+	}
+	if simLast <= worstLast {
+		t.Errorf("simulated rate %v at or below worst case %v", simLast, worstLast)
+	}
+}
+
+func TestE8AdversaryStarves(t *testing.T) {
+	table, err := MinToMaxProgress(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row is the adversary; it must starve at least its victim
+	// (a deterministic schedule can starve more: the same process wins
+	// every CAS round). All stochastic rows must starve none.
+	for i, row := range table.Rows {
+		starved, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if i == len(table.Rows)-1 {
+			if starved < 1 {
+				t.Errorf("adversary starved %d processes, want >= 1", starved)
+			}
+		} else if starved != 0 {
+			t.Errorf("stochastic scheduler %s starved %d processes", row[0], starved)
+		}
+	}
+}
+
+func TestE9DominantShareHigh(t *testing.T) {
+	table, err := UnboundedStarvation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		share, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if share < 0.8 {
+			t.Errorf("n=%s: dominant share %v, want >= 0.8", row[0], share)
+		}
+	}
+}
+
+func TestE15WaitFreeCostsMore(t *testing.T) {
+	table, err := WaitFreePrice(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		ratio, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[3], err)
+		}
+		if ratio <= 1 {
+			t.Errorf("n=%s: WF/LF ratio %v, wait-free should cost more", row[0], ratio)
+		}
+	}
+}
+
+func TestE17BucketsReduceLatency(t *testing.T) {
+	table, err := HashSetScaling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 2 {
+		t.Fatal("need at least two bucket counts")
+	}
+	first, err := strconv.ParseFloat(table.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(table.Rows[len(table.Rows)-1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Errorf("more buckets did not reduce latency: %v -> %v", first, last)
+	}
+	for _, row := range table.Rows {
+		if row[4] != "0" {
+			t.Errorf("buckets=%s reported violations %s", row[0], row[4])
+		}
+	}
+}
+
+func TestE10ResidualsTiny(t *testing.T) {
+	table, err := LiftingVerification(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		for _, col := range []int{4, 5, 6} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", row[col], err)
+			}
+			if v > 1e-6 {
+				t.Errorf("row %v column %d residual %v too large", row[0], col, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"pwf/internal/machine"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// HashSetScaling (E17) exercises the "efficient data structures such
+// as hash tables [6]" instantiation of the SCU class: a lock-free
+// hash set is an array of independent Harris-list buckets, so raising
+// the bucket count divides the contention — the per-operation latency
+// approaches the uncontended list cost while the single-bucket
+// configuration behaves like one hot SCU object.
+func HashSetScaling(cfg Config) (*Table, error) {
+	n := cfg.num(8, 4)
+	window := cfg.steps(400000, 60000)
+	keyspace := int64(cfg.num(64, 24))
+	var bucketCounts []int
+	if cfg.Quick {
+		bucketCounts = []int{1, 4}
+	} else {
+		bucketCounts = []int{1, 2, 4, 8, 16}
+	}
+
+	t := &Table{
+		ID:    "E17",
+		Title: "Hash set: bucket count vs latency (per-bucket SCU instances)",
+		Header: []string{
+			"buckets", "W (steps/op)", "speedup vs 1 bucket", "ops", "violations",
+		},
+	}
+	var base float64
+	for _, buckets := range bucketCounts {
+		const poolSize = 16
+		h, err := scu.NewHashSet(n, buckets, poolSize, 0)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := shmem.New(scu.HashSetLayout(n, buckets, poolSize))
+		if err != nil {
+			return nil, err
+		}
+		h.Init(mem)
+		procs, err := h.Processes(keyspace)
+		if err != nil {
+			return nil, err
+		}
+		u, err := newUniform(n, cfg.Seed+uint64(buckets))
+		if err != nil {
+			return nil, err
+		}
+		sim, err := machine.New(mem, procs, u)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.Run(window / 10); err != nil {
+			return nil, err
+		}
+		sim.ResetMetrics()
+		if err := sim.Run(window); err != nil {
+			return nil, err
+		}
+		if h.Violations() != 0 {
+			return nil, fmt.Errorf("hash set violated linearizability at %d buckets", buckets)
+		}
+		if err := h.Err(); err != nil {
+			return nil, err
+		}
+		w, err := sim.SystemLatency()
+		if err != nil {
+			return nil, err
+		}
+		if buckets == bucketCounts[0] {
+			base = w
+		}
+		speedup := math.NaN()
+		if w > 0 {
+			speedup = base / w
+		}
+		t.AddRow(buckets, w, speedup, sim.TotalCompletions(), h.Violations())
+	}
+	t.Note = "splitting one hot SCU object into independent buckets removes contention: " +
+		"latency falls toward the uncontended walk cost as buckets grow — how the class's " +
+		"√n contention factor is engineered away in practice"
+	return t, nil
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows the corresponding
+// paper table or figure would plot.
+type Table struct {
+	// ID is the experiment id from DESIGN.md (e.g. "E3").
+	ID string
+	// Title names the paper artifact (e.g. "Figure 5").
+	Title string
+	// Note carries the headline comparison for EXPERIMENTS.md.
+	Note string
+	// Header and Rows hold the tabular data.
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats
+// with %.4g.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if w == nil {
+		return errors.New("exp: nil writer")
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, width := range widths {
+		total += width + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", max(total, 4))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

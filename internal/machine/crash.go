@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pwf/internal/sched"
+)
+
+// Failure injection: crashes scheduled at future step numbers. A
+// crash takes effect just before the given step is scheduled, so a
+// plan entry {Step: 100, PID: 3} guarantees process 3 takes no step
+// at time 100 or later. The simulator's scheduler must implement
+// sched.Crasher.
+
+// CrashPlanEntry is one scheduled fail-stop crash.
+type CrashPlanEntry struct {
+	Step uint64
+	PID  int
+}
+
+// Crash-plan errors.
+var (
+	ErrNoCrashSupport = errors.New("machine: scheduler does not support crashes")
+	ErrPastStep       = errors.New("machine: crash step already passed")
+)
+
+// ScheduleCrash arranges for pid to crash immediately before the given
+// step number (1-based, like Sim.Steps()). Multiple crashes may be
+// scheduled; entries at the same step apply in the order added.
+func (s *Sim) ScheduleCrash(step uint64, pid int) error {
+	if _, ok := s.sch.(sched.Crasher); !ok {
+		return ErrNoCrashSupport
+	}
+	if pid < 0 || pid >= len(s.procs) {
+		return fmt.Errorf("machine: pid %d out of range", pid)
+	}
+	if step <= s.steps {
+		return fmt.Errorf("%w: %d <= %d", ErrPastStep, step, s.steps)
+	}
+	s.crashPlan = append(s.crashPlan, CrashPlanEntry{Step: step, PID: pid})
+	sort.SliceStable(s.crashPlan, func(i, j int) bool {
+		return s.crashPlan[i].Step < s.crashPlan[j].Step
+	})
+	return nil
+}
+
+// applyDueCrashes executes every plan entry due at or before the step
+// about to be taken.
+func (s *Sim) applyDueCrashes() error {
+	for len(s.crashPlan) > 0 && s.crashPlan[0].Step <= s.steps+1 {
+		entry := s.crashPlan[0]
+		s.crashPlan = s.crashPlan[1:]
+		crasher, ok := s.sch.(sched.Crasher)
+		if !ok {
+			return ErrNoCrashSupport
+		}
+		if err := crasher.Crash(entry.PID); err != nil {
+			return fmt.Errorf("machine: crash pid %d at step %d: %w", entry.PID, entry.Step, err)
+		}
+	}
+	return nil
+}
+
+// PendingCrashes returns the crashes still scheduled.
+func (s *Sim) PendingCrashes() []CrashPlanEntry {
+	out := make([]CrashPlanEntry, len(s.crashPlan))
+	copy(out, s.crashPlan)
+	return out
+}

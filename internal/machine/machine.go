@@ -1,0 +1,331 @@
+// Package machine implements the discrete-time execution model of
+// Section 2.1: at every time unit the scheduler picks one process,
+// which performs local computation and then issues exactly one
+// shared-memory step. The machine drives simulated algorithm
+// instances (see package scu) against a scheduler (package sched) on
+// a shared memory (package shmem), and measures the two quantities
+// the paper analyses:
+//
+//   - system latency: expected number of system steps between two
+//     consecutive completions by any process;
+//   - individual latency: expected number of system steps between two
+//     consecutive completions by the same process.
+//
+// Both are estimated two ways — as the mean of inter-completion gaps
+// and as the total-steps/total-completions ratio — which agree in the
+// long run; tests compare them (the "latency estimator" ablation in
+// DESIGN.md).
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pwf/internal/sched"
+	"pwf/internal/shmem"
+	"pwf/internal/stats"
+)
+
+// Process is one simulated algorithm instance. Each call to Step
+// performs exactly one shared-memory operation on mem and reports
+// whether a method invocation completed at this step. Once an
+// invocation completes, the next Step implicitly begins a new one
+// (every process performs an infinite sequence of operations, matching
+// the analysis in Section 6).
+type Process interface {
+	Step(mem *shmem.Memory) (completed bool)
+}
+
+// Machine simulation errors.
+var (
+	ErrNoProcs        = errors.New("machine: no processes")
+	ErrProcMismatch   = errors.New("machine: scheduler and process count differ")
+	ErrBudgetExceeded = errors.New("machine: step budget exceeded")
+	ErrNoCompletions  = errors.New("machine: no completions observed")
+)
+
+// Sim couples processes, a scheduler, and a memory, and accumulates
+// latency metrics while running.
+type Sim struct {
+	mem   *shmem.Memory
+	procs []Process
+	sch   sched.Scheduler
+
+	steps       uint64
+	completions []uint64
+	totalComp   uint64
+
+	// Gap statistics, measured in system steps.
+	sysGaps     stats.Summary
+	indGaps     []stats.Summary
+	lastSysComp uint64
+	lastIndComp []uint64
+	sysPrimed   bool
+	indPrimed   []bool
+	maxIndGap   []uint64
+
+	// Metrics window start (ResetMetrics discards warmup).
+	windowStart     uint64
+	windowCompStart uint64
+
+	// hook, when set, observes every completion event.
+	hook func(step uint64, pid int)
+
+	// crashPlan holds scheduled fail-stop crashes, sorted by step.
+	crashPlan []CrashPlanEntry
+}
+
+// New builds a simulator. The scheduler must govern exactly
+// len(procs) processes.
+func New(mem *shmem.Memory, procs []Process, sch sched.Scheduler) (*Sim, error) {
+	if mem == nil {
+		return nil, errors.New("machine: nil memory")
+	}
+	if len(procs) == 0 {
+		return nil, ErrNoProcs
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("machine: process %d is nil", i)
+		}
+	}
+	if sch == nil {
+		return nil, errors.New("machine: nil scheduler")
+	}
+	if sch.N() != len(procs) {
+		return nil, fmt.Errorf("%w: scheduler %d vs %d", ErrProcMismatch, sch.N(), len(procs))
+	}
+	n := len(procs)
+	return &Sim{
+		mem:         mem,
+		procs:       procs,
+		sch:         sch,
+		completions: make([]uint64, n),
+		indGaps:     make([]stats.Summary, n),
+		lastIndComp: make([]uint64, n),
+		indPrimed:   make([]bool, n),
+		maxIndGap:   make([]uint64, n),
+	}, nil
+}
+
+// N returns the number of processes.
+func (s *Sim) N() int { return len(s.procs) }
+
+// ProcessAt returns the pid-th process, for extracting
+// algorithm-specific metrics after a run.
+func (s *Sim) ProcessAt(pid int) (Process, bool) {
+	if pid < 0 || pid >= len(s.procs) {
+		return nil, false
+	}
+	return s.procs[pid], true
+}
+
+// Step advances the simulation by one time unit: the scheduler picks a
+// process, which takes one shared-memory step.
+func (s *Sim) Step() error {
+	if len(s.crashPlan) > 0 {
+		if err := s.applyDueCrashes(); err != nil {
+			return err
+		}
+	}
+	pid, err := s.sch.Next()
+	if err != nil {
+		return fmt.Errorf("machine: schedule step %d: %w", s.steps, err)
+	}
+	s.steps++
+	if !s.procs[pid].Step(s.mem) {
+		return nil
+	}
+	s.recordCompletion(pid)
+	return nil
+}
+
+func (s *Sim) recordCompletion(pid int) {
+	s.completions[pid]++
+	s.totalComp++
+
+	if s.sysPrimed {
+		s.sysGaps.Add(float64(s.steps - s.lastSysComp))
+	}
+	s.lastSysComp = s.steps
+	s.sysPrimed = true
+
+	if s.indPrimed[pid] {
+		gap := s.steps - s.lastIndComp[pid]
+		s.indGaps[pid].Add(float64(gap))
+		if gap > s.maxIndGap[pid] {
+			s.maxIndGap[pid] = gap
+		}
+	}
+	s.lastIndComp[pid] = s.steps
+	s.indPrimed[pid] = true
+
+	if s.hook != nil {
+		s.hook(s.steps, pid)
+	}
+}
+
+// SetCompletionHook registers fn to observe every completion event
+// (system step number and completing process). Pass nil to remove the
+// hook. Package progress uses this to build histories.
+func (s *Sim) SetCompletionHook(fn func(step uint64, pid int)) { s.hook = fn }
+
+// Run advances the simulation by steps time units.
+func (s *Sim) Run(steps uint64) error {
+	for i := uint64(0); i < steps; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilCompletions runs until the total number of completions since
+// construction reaches target, or fails with ErrBudgetExceeded after
+// maxSteps further steps.
+func (s *Sim) RunUntilCompletions(target, maxSteps uint64) error {
+	budget := maxSteps
+	for s.totalComp < target {
+		if budget == 0 {
+			return fmt.Errorf("%w: %d completions after %d steps, want %d",
+				ErrBudgetExceeded, s.totalComp, maxSteps, target)
+		}
+		budget--
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetMetrics discards the statistics gathered so far (warmup) while
+// keeping the simulation state. Subsequent latency estimates describe
+// only the post-reset window, approximating the stationary regime.
+func (s *Sim) ResetMetrics() {
+	s.sysGaps = stats.Summary{}
+	s.sysPrimed = false
+	for i := range s.indGaps {
+		s.indGaps[i] = stats.Summary{}
+		s.indPrimed[i] = false
+		s.maxIndGap[i] = 0
+	}
+	s.windowStart = s.steps
+	s.windowCompStart = s.totalComp
+}
+
+// Steps returns the total number of time units simulated.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// Completions returns a copy of the per-process completion counts.
+func (s *Sim) Completions() []uint64 {
+	out := make([]uint64, len(s.completions))
+	copy(out, s.completions)
+	return out
+}
+
+// TotalCompletions returns the total number of completed invocations.
+func (s *Sim) TotalCompletions() uint64 { return s.totalComp }
+
+// SystemLatency returns the mean number of system steps between
+// consecutive completions (gap estimator), an error if fewer than two
+// completions were observed in the metrics window.
+func (s *Sim) SystemLatency() (float64, error) {
+	if s.sysGaps.N() == 0 {
+		return 0, ErrNoCompletions
+	}
+	return s.sysGaps.Mean(), nil
+}
+
+// SystemLatencyRatio returns steps/completions over the metrics
+// window (ratio estimator).
+func (s *Sim) SystemLatencyRatio() (float64, error) {
+	comps := s.totalComp - s.windowCompStart
+	if comps == 0 {
+		return 0, ErrNoCompletions
+	}
+	return float64(s.steps-s.windowStart) / float64(comps), nil
+}
+
+// IndividualLatency returns the mean number of system steps between
+// consecutive completions by process pid (gap estimator).
+func (s *Sim) IndividualLatency(pid int) (float64, error) {
+	if pid < 0 || pid >= len(s.procs) {
+		return 0, fmt.Errorf("machine: pid %d out of range", pid)
+	}
+	if s.indGaps[pid].N() == 0 {
+		return 0, fmt.Errorf("%w: process %d", ErrNoCompletions, pid)
+	}
+	return s.indGaps[pid].Mean(), nil
+}
+
+// MeanIndividualLatency averages the individual latency across all
+// processes that completed at least two invocations; it returns an
+// error if no process did.
+func (s *Sim) MeanIndividualLatency() (float64, error) {
+	var sum float64
+	count := 0
+	for pid := range s.procs {
+		if s.indGaps[pid].N() == 0 {
+			continue
+		}
+		sum += s.indGaps[pid].Mean()
+		count++
+	}
+	if count == 0 {
+		return 0, ErrNoCompletions
+	}
+	return sum / float64(count), nil
+}
+
+// MaxIndividualGap returns the largest observed inter-completion gap
+// for pid (in system steps) within the metrics window; used as the
+// starvation witness in E9.
+func (s *Sim) MaxIndividualGap(pid int) (uint64, error) {
+	if pid < 0 || pid >= len(s.procs) {
+		return 0, fmt.Errorf("machine: pid %d out of range", pid)
+	}
+	return s.maxIndGap[pid], nil
+}
+
+// CompletionRate returns completions per system step over the metrics
+// window — the quantity plotted in Figure 5 (the inverse of system
+// latency).
+func (s *Sim) CompletionRate() float64 {
+	steps := s.steps - s.windowStart
+	if steps == 0 {
+		return 0
+	}
+	return float64(s.totalComp-s.windowCompStart) / float64(steps)
+}
+
+// StarvedProcesses returns the ids of processes with zero completions
+// so far; with enough steps under a stochastic scheduler this should
+// be empty for bounded lock-free algorithms (Theorem 3), and non-empty
+// for Algorithm 1 (Lemma 2).
+func (s *Sim) StarvedProcesses() []int {
+	var out []int
+	for pid, c := range s.completions {
+		if c == 0 {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// FairnessIndex returns Jain's fairness index of the per-process
+// completion counts: (Σx)² / (n·Σx²), which is 1 for perfectly equal
+// progress and 1/n when one process monopolises completions.
+func (s *Sim) FairnessIndex() float64 {
+	var sum, sumSq float64
+	for _, c := range s.completions {
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	n := float64(len(s.completions))
+	return sum * sum / (n * sumSq)
+}

@@ -1,0 +1,82 @@
+package markov
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	c := twoState(t, 0.25, 0.5)
+	var buf bytes.Buffer
+	if err := c.WriteDOT(&buf, "fig1", []string{"(1,0)", "(0,1)"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "fig1"`,
+		`label="(1,0)"`,
+		`0 -> 1 [label="0.25"]`,
+		`1 -> 0 [label="0.5"]`,
+		`0 -> 0 [label="0.75"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	var buf bytes.Buffer
+	if err := c.WriteDOT(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `digraph "chain"`) || !strings.Contains(out, `label="s0"`) {
+		t.Errorf("defaults not applied:\n%s", out)
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	if err := c.WriteDOT(nil, "x", nil); err == nil {
+		t.Error("nil writer: nil error")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteDOT(&buf, "x", []string{"only-one"}); err == nil {
+		t.Error("label count mismatch: nil error")
+	}
+}
+
+func TestWriteDOTOmitsZeroEdges(t *testing.T) {
+	c := mustChain(t, [][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	var buf bytes.Buffer
+	if err := c.WriteDOT(&buf, "cycle", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "0 -> 0") || strings.Contains(out, "1 -> 1") {
+		t.Errorf("zero-probability self-loops rendered:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "0.5"},
+		{0.25, "0.25"},
+		{1, "1"},
+		{1.0 / 3, "0.3333"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

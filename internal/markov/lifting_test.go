@@ -1,0 +1,125 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pwf/internal/rng"
+)
+
+// liftedCopy builds a big chain that duplicates every state of small k
+// times, splitting each transition uniformly across the k copies of
+// the target. This is a lifting by construction with f[x] = x / k.
+func liftedCopy(t *testing.T, small *Chain, k int) (*Chain, []int) {
+	t.Helper()
+	n := small.N()
+	big := make([][]float64, n*k)
+	f := make([]int, n*k)
+	for x := range big {
+		big[x] = make([]float64, n*k)
+		i := x / k
+		f[x] = i
+		for j := 0; j < n; j++ {
+			share := small.P(i, j) / float64(k)
+			for c := 0; c < k; c++ {
+				big[x][j*k+c] = share
+			}
+		}
+	}
+	bigChain, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bigChain, f
+}
+
+func TestVerifyLiftingIdentity(t *testing.T) {
+	small := twoState(t, 0.3, 0.6)
+	f := []int{0, 1}
+	report, err := VerifyLifting(small, small, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxFlowError > 1e-12 || report.MaxMarginalError > 1e-12 {
+		t.Fatalf("identity lifting errors: flow %v marginal %v",
+			report.MaxFlowError, report.MaxMarginalError)
+	}
+}
+
+func TestVerifyLiftingDuplicatedStates(t *testing.T) {
+	src := rng.New(5)
+	small := mustChain(t, randomErgodic(4, src))
+	big, f := liftedCopy(t, small, 3)
+	report, err := VerifyLifting(big, small, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxFlowError > 1e-9 {
+		t.Fatalf("flow error %v", report.MaxFlowError)
+	}
+	if report.MaxMarginalError > 1e-9 {
+		t.Fatalf("marginal error %v (Lemma 1)", report.MaxMarginalError)
+	}
+	if len(report.BigStationary) != big.N() || len(report.SmallStationary) != small.N() {
+		t.Fatal("report missing stationary distributions")
+	}
+}
+
+func TestVerifyLiftingDetectsNonLifting(t *testing.T) {
+	// Map both states of an asymmetric two-state chain onto a
+	// single-state chain the flows of which cannot match a chain
+	// where they should differ: construct small = two-state with
+	// specific flows, and map big's states crosswise so aggregated
+	// flows disagree.
+	big := twoState(t, 0.2, 0.8) // π = [0.8, 0.2]
+	small := twoState(t, 0.5, 0.5)
+	f := []int{0, 1}
+	report, err := VerifyLifting(big, small, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxFlowError < 0.01 {
+		t.Fatalf("expected a large flow violation, got %v", report.MaxFlowError)
+	}
+}
+
+func TestVerifyLiftingValidation(t *testing.T) {
+	small := twoState(t, 0.5, 0.5)
+	if _, err := VerifyLifting(nil, small, []int{0, 1}); err == nil {
+		t.Error("nil big: nil error")
+	}
+	if _, err := VerifyLifting(small, nil, []int{0, 1}); err == nil {
+		t.Error("nil small: nil error")
+	}
+	if _, err := VerifyLifting(small, small, []int{0}); !errors.Is(err, ErrBadMapping) {
+		t.Errorf("short map: %v", err)
+	}
+	if _, err := VerifyLifting(small, small, []int{0, 5}); !errors.Is(err, ErrBadMapping) {
+		t.Errorf("out-of-range map: %v", err)
+	}
+	if _, err := VerifyLifting(small, small, []int{0, 0}); !errors.Is(err, ErrNotSurjective) {
+		t.Errorf("non-surjective map: %v", err)
+	}
+}
+
+func TestVerifyLiftingMarginalLemma(t *testing.T) {
+	// Lemma 1 check isolated: a lifting's small stationary mass is
+	// the sum of big stationary masses in the preimage.
+	src := rng.New(11)
+	small := mustChain(t, randomErgodic(3, src))
+	big, f := liftedCopy(t, small, 2)
+	report, err := VerifyLifting(big, small, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginal := make([]float64, small.N())
+	for x, v := range f {
+		marginal[v] += report.BigStationary[x]
+	}
+	for v := range marginal {
+		if math.Abs(marginal[v]-report.SmallStationary[v]) > 1e-9 {
+			t.Fatalf("marginal[%d] = %v, small π = %v", v, marginal[v], report.SmallStationary[v])
+		}
+	}
+}

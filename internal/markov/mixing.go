@@ -1,0 +1,117 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mixing-time machinery for Theorem 2: an ergodic chain's
+// distribution converges to the stationary distribution from any
+// start. MixingTime quantifies how fast, in total-variation distance.
+
+// ErrNotMixing is returned when the chain fails to mix within the
+// given horizon (e.g. a periodic chain, whose point-mass distributions
+// never converge).
+var ErrNotMixing = errors.New("markov: chain did not mix within the horizon")
+
+// TotalVariation returns the total-variation distance
+// ½·Σ|p_i − q_i| between two distributions of equal length.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("markov: distribution lengths %d and %d differ", len(p), len(q))
+	}
+	var sum float64
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2, nil
+}
+
+// DistanceToStationary returns d(t) = max_i TV(P^t(i,·), π): the
+// worst-case total-variation distance to stationarity after t steps
+// over all point-mass starts.
+func (c *Chain) DistanceToStationary(t int) (float64, error) {
+	if t < 0 {
+		return 0, errors.New("markov: negative time")
+	}
+	pi, err := c.StationarySolve()
+	if err != nil {
+		return 0, err
+	}
+	n := c.N()
+	// Evolve every point-mass start t steps.
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][i] = 1
+	}
+	for step := 0; step < t; step++ {
+		for i := range rows {
+			next, err := c.StepDistribution(rows[i])
+			if err != nil {
+				return 0, err
+			}
+			rows[i] = next
+		}
+	}
+	var worst float64
+	for i := range rows {
+		d, err := TotalVariation(rows[i], pi)
+		if err != nil {
+			return 0, err
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// MixingTime returns the smallest t ≤ maxT with d(t) ≤ eps, where
+// d(t) is the worst-case total-variation distance to stationarity.
+// Periodic chains never satisfy the condition and yield ErrNotMixing.
+func (c *Chain) MixingTime(eps float64, maxT int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, errors.New("markov: eps must be in (0, 1)")
+	}
+	if maxT < 0 {
+		return 0, errors.New("markov: negative horizon")
+	}
+	pi, err := c.StationarySolve()
+	if err != nil {
+		return 0, err
+	}
+	n := c.N()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][i] = 1
+	}
+	for t := 0; t <= maxT; t++ {
+		var worst float64
+		for i := range rows {
+			d, err := TotalVariation(rows[i], pi)
+			if err != nil {
+				return 0, err
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst <= eps {
+			return t, nil
+		}
+		if t == maxT {
+			break
+		}
+		for i := range rows {
+			next, err := c.StepDistribution(rows[i])
+			if err != nil {
+				return 0, err
+			}
+			rows[i] = next
+		}
+	}
+	return 0, fmt.Errorf("%w: maxT=%d eps=%v", ErrNotMixing, maxT, eps)
+}

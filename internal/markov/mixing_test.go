@@ -1,0 +1,124 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTotalVariation(t *testing.T) {
+	d, err := TotalVariation([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("TV of disjoint point masses = %v, want 1", d)
+	}
+	d, err = TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("TV of identical = %v, want 0", d)
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch: nil error")
+	}
+}
+
+func TestDistanceToStationaryDecays(t *testing.T) {
+	c := twoState(t, 0.3, 0.4)
+	prev := math.Inf(1)
+	for _, steps := range []int{0, 1, 2, 5, 10, 20} {
+		d, err := c.DistanceToStationary(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > prev+1e-12 {
+			t.Fatalf("distance increased: %v after %d steps (prev %v)", d, steps, prev)
+		}
+		prev = d
+	}
+	if prev > 1e-3 {
+		t.Fatalf("distance after 20 steps = %v, expected near 0", prev)
+	}
+}
+
+func TestDistanceToStationaryTwoStateClosedForm(t *testing.T) {
+	// For the two-state chain, TV from a point mass decays exactly as
+	// |1-a-b|^t times the initial distance.
+	const (
+		a = 0.2
+		b = 0.5
+	)
+	c := twoState(t, a, b)
+	lambda := math.Abs(1 - a - b)
+	d0, err := c.DistanceToStationary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int{1, 3, 7} {
+		d, err := c.DistanceToStationary(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d0 * math.Pow(lambda, float64(steps))
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("d(%d) = %v, want %v", steps, d, want)
+		}
+	}
+}
+
+func TestMixingTime(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	// This chain mixes in one step (P^1 rows are already stationary).
+	tm, err := c.MixingTime(0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != 1 {
+		t.Fatalf("mixing time = %d, want 1", tm)
+	}
+}
+
+func TestMixingTimeMonotoneInEps(t *testing.T) {
+	c := twoState(t, 0.1, 0.15)
+	loose, err := c.MixingTime(0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := c.MixingTime(0.001, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight < loose {
+		t.Fatalf("tighter eps mixed faster: %d < %d", tight, loose)
+	}
+}
+
+func TestMixingTimePeriodicFails(t *testing.T) {
+	// The deterministic 2-cycle never mixes from a point mass.
+	c := mustChain(t, [][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	if _, err := c.MixingTime(0.1, 100); !errors.Is(err, ErrNotMixing) {
+		t.Fatalf("periodic chain: %v", err)
+	}
+}
+
+func TestMixingTimeArgs(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	if _, err := c.MixingTime(0, 10); err == nil {
+		t.Error("eps=0: nil error")
+	}
+	if _, err := c.MixingTime(1.5, 10); err == nil {
+		t.Error("eps>1: nil error")
+	}
+	if _, err := c.MixingTime(0.1, -1); err == nil {
+		t.Error("negative horizon: nil error")
+	}
+	if _, err := c.DistanceToStationary(-1); err == nil {
+		t.Error("negative time: nil error")
+	}
+}

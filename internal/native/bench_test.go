@@ -1,0 +1,66 @@
+package native
+
+import (
+	"runtime"
+	"testing"
+)
+
+func BenchmarkCASCounterInc(b *testing.B) {
+	var c CASCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkAddCounterInc(b *testing.B) {
+	var c AddCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	var s Stack[int]
+	b.RunParallel(func(pb *testing.PB) {
+		push := true
+		for pb.Next() {
+			if push {
+				s.Push(1)
+			} else {
+				s.Pop()
+			}
+			push = !push
+		}
+	})
+}
+
+func BenchmarkQueueEnqDeq(b *testing.B) {
+	q := NewQueue[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		enq := true
+		for pb.Next() {
+			if enq {
+				q.Enqueue(1)
+			} else {
+				q.Dequeue()
+			}
+			enq = !enq
+		}
+	})
+}
+
+func BenchmarkRecordSchedule(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := RecordSchedule(workers, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

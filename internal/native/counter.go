@@ -1,0 +1,59 @@
+// Package native provides real-hardware counterparts of the simulated
+// algorithms, built on goroutines and sync/atomic: the CAS-loop
+// fetch-and-increment counter of Appendix B, a wait-free fetch-and-add
+// baseline, a Treiber stack and a Michael–Scott queue, the
+// atomic-ticket schedule recorder of Appendix A.2 (method 1), and the
+// completion-rate harness behind Figure 5.
+//
+// Shared-memory steps are counted per goroutine (reads and CAS
+// attempts), so the measured completion rate is completions per step,
+// directly comparable with the simulator and with the paper's
+// Θ(1/√n) prediction.
+package native
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBadWorkers is returned for non-positive worker counts.
+var ErrBadWorkers = errors.New("native: need at least one worker")
+
+// CASCounter is the lock-free fetch-and-increment counter measured in
+// Appendix B: read the value, then try to install value+1 with CAS,
+// retrying on failure. It is lock-free but not wait-free.
+type CASCounter struct {
+	v atomic.Int64
+}
+
+// Inc increments the counter and returns the fetched (pre-increment)
+// value along with the number of shared-memory steps the operation
+// took (each loop iteration costs one read and one CAS).
+func (c *CASCounter) Inc() (value int64, steps uint64) {
+	for {
+		v := c.v.Load()
+		steps++
+		if c.v.CompareAndSwap(v, v+1) {
+			steps++
+			return v, steps
+		}
+		steps++
+	}
+}
+
+// Load returns the current counter value.
+func (c *CASCounter) Load() int64 { return c.v.Load() }
+
+// AddCounter is the wait-free baseline: hardware fetch-and-add. Every
+// operation takes exactly one step.
+type AddCounter struct {
+	v atomic.Int64
+}
+
+// Inc increments and returns the fetched value; always one step.
+func (c *AddCounter) Inc() (value int64, steps uint64) {
+	return c.v.Add(1) - 1, 1
+}
+
+// Load returns the current counter value.
+func (c *AddCounter) Load() int64 { return c.v.Load() }

@@ -1,0 +1,97 @@
+package native
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// StepsDistribution is the per-operation cost distribution of a
+// native workload: how many shared-memory steps each individual
+// operation took. This is the practitioner's "latency distribution of
+// individual operations" view the paper cites (Al-Bahra [1, Fig. 6])
+// as evidence that lock-free operations complete in a timely manner.
+type StepsDistribution struct {
+	samples []uint64 // sorted
+}
+
+// MeasureStepsDistribution runs `workers` goroutines, each executing
+// op opsPerWorker times, recording every operation's step count.
+func MeasureStepsDistribution(workers, opsPerWorker int, makeOp func(worker int) Op) (*StepsDistribution, error) {
+	if workers < 1 {
+		return nil, ErrBadWorkers
+	}
+	if opsPerWorker < 1 {
+		return nil, errors.New("native: need at least one op per worker")
+	}
+	if makeOp == nil {
+		return nil, errors.New("native: nil op factory")
+	}
+	var (
+		wg    sync.WaitGroup
+		per   = make([][]uint64, workers)
+		start = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		op := makeOp(w)
+		if op == nil {
+			return nil, errors.New("native: op factory returned nil")
+		}
+		per[w] = make([]uint64, opsPerWorker)
+		wg.Add(1)
+		go func(w int, op Op) {
+			defer wg.Done()
+			<-start
+			mine := per[w]
+			for i := range mine {
+				mine[i] = op()
+			}
+		}(w, op)
+	}
+	close(start)
+	wg.Wait()
+
+	samples := make([]uint64, 0, workers*opsPerWorker)
+	for _, mine := range per {
+		samples = append(samples, mine...)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return &StepsDistribution{samples: samples}, nil
+}
+
+// N returns the number of recorded operations.
+func (d *StepsDistribution) N() int { return len(d.samples) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of per-operation step
+// counts (nearest-rank).
+func (d *StepsDistribution) Quantile(q float64) (uint64, error) {
+	if len(d.samples) == 0 {
+		return 0, errors.New("native: empty distribution")
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("native: quantile out of [0,1]")
+	}
+	idx := int(q * float64(len(d.samples)-1))
+	return d.samples[idx], nil
+}
+
+// Max returns the largest per-operation step count — the empirical
+// worst case whose boundedness is what "practically wait-free" means.
+func (d *StepsDistribution) Max() uint64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[len(d.samples)-1]
+}
+
+// Mean returns the mean per-operation step count.
+func (d *StepsDistribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, s := range d.samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(d.samples))
+}

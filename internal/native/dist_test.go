@@ -1,0 +1,128 @@
+package native
+
+import "testing"
+
+func TestMeasureStepsDistributionValidation(t *testing.T) {
+	ok := func(int) Op { return func() uint64 { return 1 } }
+	if _, err := MeasureStepsDistribution(0, 1, ok); err == nil {
+		t.Error("workers=0: nil error")
+	}
+	if _, err := MeasureStepsDistribution(1, 0, ok); err == nil {
+		t.Error("ops=0: nil error")
+	}
+	if _, err := MeasureStepsDistribution(1, 1, nil); err == nil {
+		t.Error("nil factory: nil error")
+	}
+	if _, err := MeasureStepsDistribution(1, 1, func(int) Op { return nil }); err == nil {
+		t.Error("nil op: nil error")
+	}
+}
+
+func TestMeasureStepsDistributionConstantOp(t *testing.T) {
+	d, err := MeasureStepsDistribution(3, 100, func(int) Op {
+		return func() uint64 { return 7 }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 300 {
+		t.Fatalf("N = %d, want 300", d.N())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v, err := d.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 7 {
+			t.Fatalf("quantile %v = %d, want 7", q, v)
+		}
+	}
+	if d.Max() != 7 || d.Mean() != 7 {
+		t.Fatalf("Max=%d Mean=%v", d.Max(), d.Mean())
+	}
+}
+
+func TestMeasureStepsDistributionOrdering(t *testing.T) {
+	// Each worker emits increasing step counts; the quantiles must be
+	// monotone and bracket the data range.
+	d, err := MeasureStepsDistribution(2, 50, func(w int) Op {
+		i := uint64(0)
+		return func() uint64 {
+			i++
+			return i
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := d.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := d.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1 || hi != 50 {
+		t.Fatalf("range [%d, %d], want [1, 50]", lo, hi)
+	}
+	med, err := d.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < lo || med > hi {
+		t.Fatalf("median %d outside range", med)
+	}
+}
+
+func TestMeasureStepsDistributionErrors(t *testing.T) {
+	d := &StepsDistribution{}
+	if _, err := d.Quantile(0.5); err == nil {
+		t.Error("empty distribution: nil error")
+	}
+	if d.Max() != 0 || d.Mean() != 0 {
+		t.Error("empty distribution should report zeros")
+	}
+	d2, err := MeasureStepsDistribution(1, 1, func(int) Op { return func() uint64 { return 1 } })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Quantile(-0.1); err == nil {
+		t.Error("q<0: nil error")
+	}
+	if _, err := d2.Quantile(1.1); err == nil {
+		t.Error("q>1: nil error")
+	}
+}
+
+func TestStackStepsDistribution(t *testing.T) {
+	var s Stack[int]
+	d, err := MeasureStepsDistribution(4, 5000, func(w int) Op {
+		push := true
+		return func() uint64 {
+			var steps uint64
+			if push {
+				steps = s.Push(w)
+			} else {
+				_, _, steps = s.Pop()
+			}
+			push = !push
+			return steps
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := d.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest possible op is an empty pop (1 step) or a clean
+	// push/pop (2-3 steps); no op is free.
+	if min == 0 {
+		t.Fatal("zero-step operation recorded")
+	}
+	if d.Mean() < 1 {
+		t.Fatalf("mean %v below 1 step/op", d.Mean())
+	}
+}

@@ -1,0 +1,85 @@
+package native
+
+import "sync/atomic"
+
+// Queue is a Michael–Scott queue [17] on real atomics with the
+// original helping step; the Go garbage collector plays the role of
+// the reclamation scheme, as in the paper's experimental setting.
+type Queue[T any] struct {
+	head atomic.Pointer[queueNode[T]]
+	tail atomic.Pointer[queueNode[T]]
+}
+
+type queueNode[T any] struct {
+	value T
+	next  atomic.Pointer[queueNode[T]]
+}
+
+// NewQueue builds an empty queue with its initial dummy node.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	dummy := &queueNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v and returns the number of shared-memory steps.
+func (q *Queue[T]) Enqueue(v T) (steps uint64) {
+	n := &queueNode[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		steps++
+		next := tail.next.Load()
+		steps++
+		if next != nil {
+			// Tail lags: help swing it and retry.
+			q.tail.CompareAndSwap(tail, next)
+			steps++
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			steps++
+			// Best-effort swing; failure is fine (someone helped).
+			q.tail.CompareAndSwap(tail, n)
+			steps++
+			return steps
+		}
+		steps++
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty. steps counts shared-memory operations.
+func (q *Queue[T]) Dequeue() (v T, ok bool, steps uint64) {
+	for {
+		head := q.head.Load()
+		steps++
+		tail := q.tail.Load()
+		steps++
+		next := head.next.Load()
+		steps++
+		if head == tail {
+			if next == nil {
+				return v, false, steps
+			}
+			// Tail lags: help.
+			q.tail.CompareAndSwap(tail, next)
+			steps++
+			continue
+		}
+		value := next.value
+		if q.head.CompareAndSwap(head, next) {
+			steps++
+			return value, true, steps
+		}
+		steps++
+	}
+}
+
+// Empty reports whether the queue looked empty at the moment of the
+// call.
+func (q *Queue[T]) Empty() bool {
+	head := q.head.Load()
+	return head.next.Load() == nil
+}

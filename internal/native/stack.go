@@ -1,0 +1,54 @@
+package native
+
+import "sync/atomic"
+
+// Stack is a Treiber stack [21] on real atomics. Node reclamation is
+// handled by the Go garbage collector, which is exactly the setting
+// the paper's class SCU models (no ABA: a node address cannot be
+// reused while any goroutine still references it).
+type Stack[T any] struct {
+	top atomic.Pointer[stackNode[T]]
+}
+
+type stackNode[T any] struct {
+	value T
+	next  *stackNode[T]
+}
+
+// Push adds v on top of the stack and returns the number of
+// shared-memory steps taken (one read plus one CAS per attempt).
+func (s *Stack[T]) Push(v T) (steps uint64) {
+	n := &stackNode[T]{value: v}
+	for {
+		top := s.top.Load()
+		steps++
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			steps++
+			return steps
+		}
+		steps++
+	}
+}
+
+// Pop removes and returns the top value; ok is false when the stack
+// is empty. steps counts shared-memory operations.
+func (s *Stack[T]) Pop() (v T, ok bool, steps uint64) {
+	for {
+		top := s.top.Load()
+		steps++
+		if top == nil {
+			return v, false, steps
+		}
+		next := top.next
+		steps++ // reading top.next touches shared memory
+		if s.top.CompareAndSwap(top, next) {
+			steps++
+			return top.value, true, steps
+		}
+		steps++
+	}
+}
+
+// Empty reports whether the stack is empty at the moment of the call.
+func (s *Stack[T]) Empty() bool { return s.top.Load() == nil }

@@ -1,0 +1,351 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded source produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnErr(t *testing.T) {
+	s := New(1)
+	if _, err := s.IntnErr(0); err == nil {
+		t.Error("IntnErr(0) returned nil error")
+	}
+	if _, err := s.IntnErr(-5); err == nil {
+		t.Error("IntnErr(-5) returned nil error")
+	}
+	v, err := s.IntnErr(10)
+	if err != nil {
+		t.Fatalf("IntnErr(10): %v", err)
+	}
+	if v < 0 || v >= 10 {
+		t.Fatalf("IntnErr(10) = %d out of range", v)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square test over 10 buckets at significance well beyond 0.001.
+	const (
+		buckets = 10
+		draws   = 100000
+	)
+	s := New(99)
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; critical value at p=0.001 is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square = %.2f exceeds 27.88; counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniform draws = %v, want ~0.5", draws, mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// The first element of Perm(4) should be uniform over {0,1,2,3}.
+	s := New(13)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[s.Perm(4)[0]]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("Perm(4)[0] == %d with frequency %v, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestShuffleMatchesPermMechanism(t *testing.T) {
+	a := New(21)
+	b := New(21)
+	p := a.Perm(10)
+	q := make([]int, 10)
+	for i := range q {
+		q[i] = i
+	}
+	b.Shuffle(10, func(i, j int) { q[i], q[j] = q[j], q[i] })
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("Perm and Shuffle diverge at %d: %v vs %v", i, p, q)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(19)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	s := New(23)
+	weights := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		idx, err := s.Categorical(weights)
+		if err != nil {
+			t.Fatalf("Categorical: %v", err)
+		}
+		counts[idx]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	s := New(29)
+	if _, err := s.Categorical(nil); err == nil {
+		t.Error("Categorical(nil) returned nil error")
+	}
+	if _, err := s.Categorical([]float64{0, 0}); err == nil {
+		t.Error("Categorical(zeros) returned nil error")
+	}
+	if _, err := s.Categorical([]float64{1, -1}); err == nil {
+		t.Error("Categorical(negative) returned nil error")
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	s := New(31)
+	weights := []float64{0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		idx, err := s.Categorical(weights)
+		if err != nil {
+			t.Fatalf("Categorical: %v", err)
+		}
+		if idx != 1 {
+			t.Fatalf("drew zero-weight category %d", idx)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(37)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and split child produced %d identical draws", same)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	s := New(41)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := s.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPermValid(t *testing.T) {
+	s := New(43)
+	f := func(n uint8) bool {
+		size := int(n % 64)
+		p := s.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"pwf/internal/rng"
+)
+
+// Phased is a time-varying stochastic scheduler: Definition 1 lets
+// the distribution Π_τ change at every step, and Phased realises a
+// simple instance — the schedule cycles through a sequence of
+// weighted phases, each lasting a fixed number of steps. It models
+// workload shifts (e.g. a box that favours half the threads during a
+// load spike and then flips). The threshold θ is the worst-case
+// minimum probability across all phases, so the scheduler remains
+// stochastic as long as every weight is positive.
+type Phased struct {
+	src     *rng.Source
+	phases  []Phase
+	active  activeSet
+	idx     int    // current phase
+	left    uint64 // steps remaining in the current phase
+	theta   float64
+	scratch []float64
+}
+
+// Phase is one segment of a Phased schedule.
+type Phase struct {
+	// Weights gives each process's scheduling weight in this phase;
+	// all must be strictly positive.
+	Weights []float64
+	// Steps is the phase length; must be >= 1.
+	Steps uint64
+}
+
+var (
+	_ Scheduler = (*Phased)(nil)
+	_ Crasher   = (*Phased)(nil)
+)
+
+// NewPhased builds a time-varying scheduler cycling through the given
+// phases over n processes.
+func NewPhased(n int, phases []Phase, src *rng.Source) (*Phased, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil rng source")
+	}
+	if len(phases) == 0 {
+		return nil, errors.New("sched: need at least one phase")
+	}
+	theta := 1.0
+	cp := make([]Phase, len(phases))
+	for i, ph := range phases {
+		if len(ph.Weights) != n {
+			return nil, fmt.Errorf("sched: phase %d has %d weights for %d processes",
+				i, len(ph.Weights), n)
+		}
+		if ph.Steps < 1 {
+			return nil, fmt.Errorf("sched: phase %d has zero length", i)
+		}
+		var total float64
+		minW := ph.Weights[0]
+		ws := make([]float64, n)
+		for j, w := range ph.Weights {
+			if w <= 0 {
+				return nil, fmt.Errorf("sched: phase %d weight %d is not strictly positive", i, j)
+			}
+			ws[j] = w
+			total += w
+			if w < minW {
+				minW = w
+			}
+		}
+		if t := minW / total; t < theta {
+			theta = t
+		}
+		cp[i] = Phase{Weights: ws, Steps: ph.Steps}
+	}
+	return &Phased{
+		src:     src,
+		phases:  cp,
+		active:  newActiveSet(n),
+		left:    cp[0].Steps,
+		theta:   theta,
+		scratch: make([]float64, n),
+	}, nil
+}
+
+// Next implements Scheduler.
+func (p *Phased) Next() (int, error) {
+	if p.active.correct == 0 {
+		return 0, ErrAllCrashed
+	}
+	if p.left == 0 {
+		p.idx = (p.idx + 1) % len(p.phases)
+		p.left = p.phases[p.idx].Steps
+	}
+	p.left--
+	weights := p.phases[p.idx].Weights
+	for pid := range weights {
+		if p.active.alive[pid] {
+			p.scratch[pid] = weights[pid]
+		} else {
+			p.scratch[pid] = 0
+		}
+	}
+	pid, err := p.src.Categorical(p.scratch)
+	if err != nil {
+		return 0, fmt.Errorf("sched: phased draw: %w", err)
+	}
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (p *Phased) N() int { return len(p.active.alive) }
+
+// Threshold implements Scheduler: the worst-case minimum probability
+// over all phases (crash-free).
+func (p *Phased) Threshold() float64 { return p.theta }
+
+// CurrentPhase returns the index of the phase governing the next step.
+func (p *Phased) CurrentPhase() int { return p.idx }
+
+// Crash implements Crasher.
+func (p *Phased) Crash(pid int) error { return p.active.crash(pid) }
+
+// Correct implements Crasher.
+func (p *Phased) Correct(pid int) bool { return p.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (p *Phased) NumCorrect() int { return p.active.correct }

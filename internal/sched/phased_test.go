@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"pwf/internal/rng"
+)
+
+func TestPhasedValidation(t *testing.T) {
+	src := rng.New(1)
+	uniform := Phase{Weights: []float64{1, 1}, Steps: 10}
+	if _, err := NewPhased(0, []Phase{uniform}, src); err == nil {
+		t.Error("n=0: nil error")
+	}
+	if _, err := NewPhased(2, nil, src); err == nil {
+		t.Error("no phases: nil error")
+	}
+	if _, err := NewPhased(2, []Phase{uniform}, nil); err == nil {
+		t.Error("nil src: nil error")
+	}
+	if _, err := NewPhased(3, []Phase{uniform}, src); err == nil {
+		t.Error("weight count mismatch: nil error")
+	}
+	if _, err := NewPhased(2, []Phase{{Weights: []float64{1, 0}, Steps: 5}}, src); err == nil {
+		t.Error("zero weight: nil error")
+	}
+	if _, err := NewPhased(2, []Phase{{Weights: []float64{1, 1}, Steps: 0}}, src); err == nil {
+		t.Error("zero-length phase: nil error")
+	}
+}
+
+func TestPhasedCyclesThroughPhases(t *testing.T) {
+	// Two near-deterministic phases: the first strongly favours
+	// process 0, the second process 1.
+	phases := []Phase{
+		{Weights: []float64{1000, 1}, Steps: 100},
+		{Weights: []float64{1, 1000}, Steps: 100},
+	}
+	p, err := NewPhased(2, phases, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstPhase := 0
+	for i := 0; i < 100; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid == 0 {
+			firstPhase++
+		}
+	}
+	if firstPhase < 95 {
+		t.Fatalf("phase 1 scheduled process 0 only %d/100 times", firstPhase)
+	}
+	if p.CurrentPhase() != 0 {
+		t.Fatalf("CurrentPhase = %d before the boundary", p.CurrentPhase())
+	}
+	secondPhase := 0
+	for i := 0; i < 100; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid == 1 {
+			secondPhase++
+		}
+	}
+	if secondPhase < 95 {
+		t.Fatalf("phase 2 scheduled process 1 only %d/100 times", secondPhase)
+	}
+	if p.CurrentPhase() != 1 {
+		t.Fatalf("CurrentPhase = %d in the second phase", p.CurrentPhase())
+	}
+	// Wraps back to phase 0.
+	wrapped := 0
+	for i := 0; i < 100; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid == 0 {
+			wrapped++
+		}
+	}
+	if wrapped < 95 {
+		t.Fatalf("after wrap, process 0 scheduled %d/100 times", wrapped)
+	}
+}
+
+func TestPhasedThresholdIsWorstCase(t *testing.T) {
+	phases := []Phase{
+		{Weights: []float64{1, 1}, Steps: 10}, // theta 1/2
+		{Weights: []float64{9, 1}, Steps: 10}, // theta 1/10
+		{Weights: []float64{1, 3}, Steps: 10}, // theta 1/4
+	}
+	p, err := NewPhased(2, phases, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Threshold(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Threshold = %v, want 0.1", got)
+	}
+}
+
+func TestPhasedLongRunShares(t *testing.T) {
+	// Symmetric alternating phases: long-run shares even out.
+	phases := []Phase{
+		{Weights: []float64{3, 1}, Steps: 50},
+		{Weights: []float64{1, 3}, Steps: 50},
+	}
+	p, err := NewPhased(2, phases, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[pid]++
+	}
+	frac := float64(counts[0]) / steps
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("long-run share %v, want ~0.5", frac)
+	}
+}
+
+func TestPhasedCrash(t *testing.T) {
+	phases := []Phase{{Weights: []float64{1, 1, 1}, Steps: 7}}
+	p, err := NewPhased(3, phases, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCorrect() != 2 || p.Correct(1) {
+		t.Fatal("crash bookkeeping wrong")
+	}
+	for i := 0; i < 500; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid == 1 {
+			t.Fatal("crashed process scheduled")
+		}
+	}
+}
+
+func TestPhasedCopiesPhases(t *testing.T) {
+	weights := []float64{1, 1}
+	phases := []Phase{{Weights: weights, Steps: 10}}
+	p, err := NewPhased(2, phases, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights[0] = 1e9 // must not affect the scheduler
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		pid, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[pid]++
+	}
+	if math.Abs(float64(counts[0])/10000-0.5) > 0.05 {
+		t.Fatalf("mutated external weights leaked in: %v", counts)
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Recorder wraps a Scheduler and accumulates the statistics the
+// paper's Appendix A reports: per-process step counts (Figure 3) and
+// the empirical next-step distribution conditioned on the previous
+// scheduled process (Figure 4).
+type Recorder struct {
+	inner Scheduler
+
+	steps       []uint64
+	transitions [][]uint64
+	last        int
+	primed      bool
+	total       uint64
+}
+
+var _ Scheduler = (*Recorder)(nil)
+
+// NewRecorder wraps inner with schedule recording.
+func NewRecorder(inner Scheduler) (*Recorder, error) {
+	if inner == nil {
+		return nil, errors.New("sched: nil inner scheduler")
+	}
+	n := inner.N()
+	tr := make([][]uint64, n)
+	for i := range tr {
+		tr[i] = make([]uint64, n)
+	}
+	return &Recorder{
+		inner:       inner,
+		steps:       make([]uint64, n),
+		transitions: tr,
+	}, nil
+}
+
+// Next implements Scheduler, recording the pick.
+func (r *Recorder) Next() (int, error) {
+	pid, err := r.inner.Next()
+	if err != nil {
+		return 0, err
+	}
+	r.steps[pid]++
+	r.total++
+	if r.primed {
+		r.transitions[r.last][pid]++
+	}
+	r.last = pid
+	r.primed = true
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (r *Recorder) N() int { return r.inner.N() }
+
+// Threshold implements Scheduler.
+func (r *Recorder) Threshold() float64 { return r.inner.Threshold() }
+
+// Steps returns a copy of the per-process step counts.
+func (r *Recorder) Steps() []uint64 {
+	out := make([]uint64, len(r.steps))
+	copy(out, r.steps)
+	return out
+}
+
+// Total returns the number of recorded steps.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// StepShares returns each process's fraction of all recorded steps
+// (the quantity plotted in Figure 3).
+func (r *Recorder) StepShares() []float64 {
+	out := make([]float64, len(r.steps))
+	if r.total == 0 {
+		return out
+	}
+	for i, s := range r.steps {
+		out[i] = float64(s) / float64(r.total)
+	}
+	return out
+}
+
+// NextStepDistribution returns the empirical distribution of the
+// process scheduled immediately after a step by from (Figure 4). It
+// returns an error if from never took a recorded step followed by
+// another step.
+func (r *Recorder) NextStepDistribution(from int) ([]float64, error) {
+	if from < 0 || from >= len(r.transitions) {
+		return nil, fmt.Errorf("%w: %d", ErrBadProcess, from)
+	}
+	var total uint64
+	for _, c := range r.transitions[from] {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sched: no transitions recorded from process %d", from)
+	}
+	out := make([]float64, len(r.transitions[from]))
+	for i, c := range r.transitions[from] {
+		out[i] = float64(c) / float64(total)
+	}
+	return out, nil
+}
+
+// TransitionCounts returns a copy of the full transition-count matrix;
+// entry [i][j] counts steps by j immediately following a step by i.
+func (r *Recorder) TransitionCounts() [][]uint64 {
+	out := make([][]uint64, len(r.transitions))
+	for i, row := range r.transitions {
+		out[i] = make([]uint64, len(row))
+		copy(out[i], row)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Replay drives scheduling from a pre-recorded trace of process ids —
+// typically a real OS-scheduler interleaving recovered by the native
+// atomic-ticket recorder (Appendix A.2). Replaying a recorded
+// schedule into the simulator closes the loop between the model and
+// the machine: the same algorithm can be evaluated under the uniform
+// stochastic scheduler and under the actual schedule the hardware
+// produced.
+//
+// When the trace is exhausted the scheduler either wraps around
+// (Loop) or fails with ErrTraceExhausted.
+type Replay struct {
+	trace []int32
+	n     int
+	pos   int
+	loop  bool
+}
+
+var _ Scheduler = (*Replay)(nil)
+
+// ErrTraceExhausted is returned by Next when a non-looping replay has
+// consumed its whole trace.
+var ErrTraceExhausted = errors.New("sched: replay trace exhausted")
+
+// NewReplay builds a replay scheduler over n processes from a trace
+// of process ids. The trace is copied and validated.
+func NewReplay(n int, trace []int32, loop bool) (*Replay, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("sched: empty replay trace")
+	}
+	cp := make([]int32, len(trace))
+	for i, pid := range trace {
+		if pid < 0 || int(pid) >= n {
+			return nil, fmt.Errorf("%w: trace[%d] = %d of %d", ErrBadProcess, i, pid, n)
+		}
+		cp[i] = pid
+	}
+	return &Replay{trace: cp, n: n, loop: loop}, nil
+}
+
+// Next implements Scheduler.
+func (r *Replay) Next() (int, error) {
+	if r.pos == len(r.trace) {
+		if !r.loop {
+			return 0, ErrTraceExhausted
+		}
+		r.pos = 0
+	}
+	pid := int(r.trace[r.pos])
+	r.pos++
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (r *Replay) N() int { return r.n }
+
+// Threshold implements Scheduler. A fixed trace carries no
+// probabilistic guarantee.
+func (r *Replay) Threshold() float64 { return 0 }
+
+// Remaining returns how many trace entries are left before exhaustion
+// (or before the next wrap when looping).
+func (r *Replay) Remaining() int { return len(r.trace) - r.pos }

@@ -1,0 +1,533 @@
+// Package sched implements the stochastic scheduler model of
+// Definition 1 in the paper: at each discrete time step the scheduler
+// picks one process to take a shared-memory step. A scheduler for n
+// processes is a triple (Π_τ, A_τ, θ): a per-step distribution Π_τ
+// over process ids, a possibly-active set A_τ that shrinks over time
+// (crash containment), and a threshold θ such that every process in
+// A_τ is scheduled with probability at least θ.
+//
+// A scheduler is *stochastic* when θ > 0. Classic adversaries are the
+// θ = 0 degenerate case in which Π_τ is a point mass chosen by a
+// strategy.
+//
+// The concrete schedulers provided are:
+//
+//   - Uniform: the paper's uniform stochastic scheduler (γ_i = 1/|A_τ|).
+//   - Weighted: an arbitrary fixed distribution with threshold θ.
+//   - Lottery: ticket-based lottery scheduling (Petrou et al. [19]).
+//   - Sticky: a Markov-modulated scheduler with local correlation —
+//     with probability ρ it reschedules the previous process; still
+//     stochastic for ρ < 1.
+//   - RoundRobin: the deterministic fair baseline (θ = 0 but uniformly
+//     isolating).
+//   - Adversarial: a strategy-driven worst case (θ = 0).
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"pwf/internal/rng"
+)
+
+// Common scheduler errors.
+var (
+	ErrAllCrashed    = errors.New("sched: all processes have crashed")
+	ErrBadProcess    = errors.New("sched: process id out of range")
+	ErrLastProcess   = errors.New("sched: cannot crash the last correct process")
+	ErrNotMinimal    = errors.New("sched: distribution does not sum to 1")
+	ErrBelowThresh   = errors.New("sched: active process scheduled below threshold")
+	ErrBadThreshold  = errors.New("sched: threshold out of (0, 1]")
+	ErrNoProcesses   = errors.New("sched: need at least one process")
+	ErrAlreadyDead   = errors.New("sched: process already crashed")
+	ErrBadStickiness = errors.New("sched: stickiness out of [0, 1)")
+)
+
+// Scheduler decides, at each discrete time step, which process takes
+// the next shared-memory step.
+type Scheduler interface {
+	// Next returns the id of the process scheduled for the next time
+	// step. It fails only when every process has crashed.
+	Next() (int, error)
+	// N returns the total number of processes (crashed or not).
+	N() int
+	// Threshold returns θ, the minimum per-step scheduling probability
+	// guaranteed to every active process. A return of 0 means the
+	// scheduler is not stochastic.
+	Threshold() float64
+}
+
+// Crasher is implemented by schedulers that support fail-stop crashes
+// (the set A_τ of Definition 1). Crash containment — A_{τ+1} ⊆ A_τ —
+// holds by construction: a crashed process never rejoins.
+type Crasher interface {
+	// Crash removes pid from the active set. At most n-1 processes may
+	// crash, matching the model's assumption.
+	Crash(pid int) error
+	// Correct reports whether pid is still active.
+	Correct(pid int) bool
+	// NumCorrect returns |A_τ|.
+	NumCorrect() int
+}
+
+// activeSet tracks the possibly-active processes shared by the
+// stochastic schedulers.
+type activeSet struct {
+	alive   []bool
+	correct int
+}
+
+func newActiveSet(n int) activeSet {
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	return activeSet{alive: alive, correct: n}
+}
+
+func (a *activeSet) crash(pid int) error {
+	if pid < 0 || pid >= len(a.alive) {
+		return fmt.Errorf("%w: %d", ErrBadProcess, pid)
+	}
+	if !a.alive[pid] {
+		return fmt.Errorf("%w: %d", ErrAlreadyDead, pid)
+	}
+	if a.correct == 1 {
+		return ErrLastProcess
+	}
+	a.alive[pid] = false
+	a.correct--
+	return nil
+}
+
+func (a *activeSet) isCorrect(pid int) bool {
+	return pid >= 0 && pid < len(a.alive) && a.alive[pid]
+}
+
+// Uniform is the uniform stochastic scheduler of Section 2.3: every
+// active process is scheduled with probability 1/|A_τ| at every step.
+type Uniform struct {
+	src    *rng.Source
+	active activeSet
+	ids    []int // scratch: ids of correct processes
+}
+
+var (
+	_ Scheduler = (*Uniform)(nil)
+	_ Crasher   = (*Uniform)(nil)
+)
+
+// NewUniform returns a uniform stochastic scheduler over n processes
+// drawing randomness from src.
+func NewUniform(n int, src *rng.Source) (*Uniform, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil rng source")
+	}
+	return &Uniform{src: src, active: newActiveSet(n)}, nil
+}
+
+// Next implements Scheduler.
+func (u *Uniform) Next() (int, error) {
+	switch u.active.correct {
+	case 0:
+		return 0, ErrAllCrashed
+	case len(u.active.alive):
+		// Fast path: no crashes yet.
+		return u.src.Intn(len(u.active.alive)), nil
+	}
+	u.ids = u.ids[:0]
+	for pid, ok := range u.active.alive {
+		if ok {
+			u.ids = append(u.ids, pid)
+		}
+	}
+	return u.ids[u.src.Intn(len(u.ids))], nil
+}
+
+// N implements Scheduler.
+func (u *Uniform) N() int { return len(u.active.alive) }
+
+// Threshold implements Scheduler: θ = 1/n (with crashes the actual
+// per-step probability only grows, so 1/n remains a valid threshold).
+func (u *Uniform) Threshold() float64 { return 1 / float64(len(u.active.alive)) }
+
+// Crash implements Crasher.
+func (u *Uniform) Crash(pid int) error { return u.active.crash(pid) }
+
+// Correct implements Crasher.
+func (u *Uniform) Correct(pid int) bool { return u.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (u *Uniform) NumCorrect() int { return u.active.correct }
+
+// Weighted schedules process i with fixed probability proportional to
+// weights[i], renormalized over the active set after crashes. The
+// threshold θ is the minimum renormalized probability across active
+// processes in the crash-free case; it is validated at construction.
+type Weighted struct {
+	src     *rng.Source
+	weights []float64
+	active  activeSet
+	theta   float64
+	scratch []float64
+}
+
+var (
+	_ Scheduler = (*Weighted)(nil)
+	_ Crasher   = (*Weighted)(nil)
+)
+
+// NewWeighted builds a weighted stochastic scheduler. Weights must be
+// strictly positive so that the weak-fairness condition (θ > 0) holds.
+func NewWeighted(weights []float64, src *rng.Source) (*Weighted, error) {
+	if len(weights) == 0 {
+		return nil, ErrNoProcesses
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil rng source")
+	}
+	var total float64
+	minW := weights[0]
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("sched: weight %v is not strictly positive", w)
+		}
+		total += w
+		if w < minW {
+			minW = w
+		}
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return &Weighted{
+		src:     src,
+		weights: ws,
+		active:  newActiveSet(len(weights)),
+		theta:   minW / total,
+		scratch: make([]float64, len(weights)),
+	}, nil
+}
+
+// Next implements Scheduler.
+func (w *Weighted) Next() (int, error) {
+	if w.active.correct == 0 {
+		return 0, ErrAllCrashed
+	}
+	for pid := range w.weights {
+		if w.active.alive[pid] {
+			w.scratch[pid] = w.weights[pid]
+		} else {
+			w.scratch[pid] = 0
+		}
+	}
+	pid, err := w.src.Categorical(w.scratch)
+	if err != nil {
+		return 0, fmt.Errorf("sched: weighted draw: %w", err)
+	}
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (w *Weighted) N() int { return len(w.weights) }
+
+// Threshold implements Scheduler.
+func (w *Weighted) Threshold() float64 { return w.theta }
+
+// Crash implements Crasher.
+func (w *Weighted) Crash(pid int) error { return w.active.crash(pid) }
+
+// Correct implements Crasher.
+func (w *Weighted) Correct(pid int) bool { return w.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (w *Weighted) NumCorrect() int { return w.active.correct }
+
+// Lottery implements lottery scheduling [Petrou et al. 1999]: each
+// process holds an integer number of tickets and is scheduled with
+// probability proportional to its holding. It is a Weighted scheduler
+// with integer weights and runtime ticket transfers.
+type Lottery struct {
+	src     *rng.Source
+	tickets []int
+	active  activeSet
+	total   int
+}
+
+var (
+	_ Scheduler = (*Lottery)(nil)
+	_ Crasher   = (*Lottery)(nil)
+)
+
+// NewLottery builds a lottery scheduler; every process must hold at
+// least one ticket.
+func NewLottery(tickets []int, src *rng.Source) (*Lottery, error) {
+	if len(tickets) == 0 {
+		return nil, ErrNoProcesses
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil rng source")
+	}
+	ts := make([]int, len(tickets))
+	total := 0
+	for i, t := range tickets {
+		if t < 1 {
+			return nil, fmt.Errorf("sched: process %d holds %d tickets, need >= 1", i, t)
+		}
+		ts[i] = t
+		total += t
+	}
+	return &Lottery{src: src, tickets: ts, active: newActiveSet(len(tickets)), total: total}, nil
+}
+
+// Next implements Scheduler by drawing a winning ticket among active
+// processes.
+func (l *Lottery) Next() (int, error) {
+	if l.active.correct == 0 {
+		return 0, ErrAllCrashed
+	}
+	activeTotal := 0
+	for pid, t := range l.tickets {
+		if l.active.alive[pid] {
+			activeTotal += t
+		}
+	}
+	win := l.src.Intn(activeTotal)
+	for pid, t := range l.tickets {
+		if !l.active.alive[pid] {
+			continue
+		}
+		if win < t {
+			return pid, nil
+		}
+		win -= t
+	}
+	// Unreachable: the draw is strictly below the active ticket total.
+	return 0, errors.New("sched: lottery draw exhausted tickets")
+}
+
+// SetTickets changes pid's holding at runtime (ticket transfers).
+func (l *Lottery) SetTickets(pid, tickets int) error {
+	if pid < 0 || pid >= len(l.tickets) {
+		return fmt.Errorf("%w: %d", ErrBadProcess, pid)
+	}
+	if tickets < 1 {
+		return fmt.Errorf("sched: process %d needs >= 1 ticket", pid)
+	}
+	l.total += tickets - l.tickets[pid]
+	l.tickets[pid] = tickets
+	return nil
+}
+
+// N implements Scheduler.
+func (l *Lottery) N() int { return len(l.tickets) }
+
+// Threshold implements Scheduler: the minimum ticket share.
+func (l *Lottery) Threshold() float64 {
+	minT := l.tickets[0]
+	for _, t := range l.tickets {
+		if t < minT {
+			minT = t
+		}
+	}
+	return float64(minT) / float64(l.total)
+}
+
+// Crash implements Crasher.
+func (l *Lottery) Crash(pid int) error { return l.active.crash(pid) }
+
+// Correct implements Crasher.
+func (l *Lottery) Correct(pid int) bool { return l.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (l *Lottery) NumCorrect() int { return l.active.correct }
+
+// Sticky is a Markov-modulated scheduler: with probability rho it
+// schedules the same process as the previous step; otherwise it picks
+// uniformly among active processes. This models the local correlation
+// real schedulers exhibit (a thread tends to keep its core for a
+// while) and is still stochastic: every active process has per-step
+// probability at least (1-ρ)/n.
+type Sticky struct {
+	src    *rng.Source
+	rho    float64
+	active activeSet
+	last   int
+	primed bool
+	ids    []int
+}
+
+var (
+	_ Scheduler = (*Sticky)(nil)
+	_ Crasher   = (*Sticky)(nil)
+)
+
+// NewSticky builds a sticky scheduler with stickiness rho in [0, 1).
+func NewSticky(n int, rho float64, src *rng.Source) (*Sticky, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil rng source")
+	}
+	if rho < 0 || rho >= 1 {
+		return nil, ErrBadStickiness
+	}
+	return &Sticky{src: src, rho: rho, active: newActiveSet(n)}, nil
+}
+
+// Next implements Scheduler.
+func (s *Sticky) Next() (int, error) {
+	if s.active.correct == 0 {
+		return 0, ErrAllCrashed
+	}
+	if s.primed && s.active.alive[s.last] && s.src.Bernoulli(s.rho) {
+		return s.last, nil
+	}
+	var pid int
+	if s.active.correct == len(s.active.alive) {
+		pid = s.src.Intn(len(s.active.alive))
+	} else {
+		s.ids = s.ids[:0]
+		for id, ok := range s.active.alive {
+			if ok {
+				s.ids = append(s.ids, id)
+			}
+		}
+		pid = s.ids[s.src.Intn(len(s.ids))]
+	}
+	s.last = pid
+	s.primed = true
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (s *Sticky) N() int { return len(s.active.alive) }
+
+// Threshold implements Scheduler: (1-ρ)/n.
+func (s *Sticky) Threshold() float64 {
+	return (1 - s.rho) / float64(len(s.active.alive))
+}
+
+// Crash implements Crasher.
+func (s *Sticky) Crash(pid int) error { return s.active.crash(pid) }
+
+// Correct implements Crasher.
+func (s *Sticky) Correct(pid int) bool { return s.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (s *Sticky) NumCorrect() int { return s.active.correct }
+
+// RoundRobin is the deterministic fair baseline: processes take steps
+// in cyclic id order, skipping crashed ones. Its threshold is 0 (it is
+// not stochastic), but every schedule it produces is uniformly
+// isolating in the trivial k=1 sense and perfectly fair in the long
+// run.
+type RoundRobin struct {
+	active activeSet
+	next   int
+}
+
+var (
+	_ Scheduler = (*RoundRobin)(nil)
+	_ Crasher   = (*RoundRobin)(nil)
+)
+
+// NewRoundRobin builds a round-robin scheduler over n processes.
+func NewRoundRobin(n int) (*RoundRobin, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	return &RoundRobin{active: newActiveSet(n)}, nil
+}
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next() (int, error) {
+	if r.active.correct == 0 {
+		return 0, ErrAllCrashed
+	}
+	for {
+		pid := r.next
+		r.next = (r.next + 1) % len(r.active.alive)
+		if r.active.alive[pid] {
+			return pid, nil
+		}
+	}
+}
+
+// N implements Scheduler.
+func (r *RoundRobin) N() int { return len(r.active.alive) }
+
+// Threshold implements Scheduler. RoundRobin is deterministic, so it
+// provides no probabilistic threshold.
+func (r *RoundRobin) Threshold() float64 { return 0 }
+
+// Crash implements Crasher.
+func (r *RoundRobin) Crash(pid int) error { return r.active.crash(pid) }
+
+// Correct implements Crasher.
+func (r *RoundRobin) Correct(pid int) bool { return r.active.isCorrect(pid) }
+
+// NumCorrect implements Crasher.
+func (r *RoundRobin) NumCorrect() int { return r.active.correct }
+
+// Strategy chooses the process to schedule at time step tau given the
+// number of processes. It encodes a classic asynchronous adversary as
+// a point-mass distribution per step (Section 2.3).
+type Strategy func(tau uint64, n int) int
+
+// Adversarial drives scheduling from a Strategy; θ = 0.
+type Adversarial struct {
+	n        int
+	tau      uint64
+	strategy Strategy
+}
+
+var _ Scheduler = (*Adversarial)(nil)
+
+// NewAdversarial builds an adversarial scheduler over n processes.
+func NewAdversarial(n int, strategy Strategy) (*Adversarial, error) {
+	if n < 1 {
+		return nil, ErrNoProcesses
+	}
+	if strategy == nil {
+		return nil, errors.New("sched: nil strategy")
+	}
+	return &Adversarial{n: n, strategy: strategy}, nil
+}
+
+// Next implements Scheduler. A strategy returning an out-of-range id
+// is an error (the adversary must be well-formed).
+func (a *Adversarial) Next() (int, error) {
+	pid := a.strategy(a.tau, a.n)
+	a.tau++
+	if pid < 0 || pid >= a.n {
+		return 0, fmt.Errorf("%w: strategy chose %d of %d", ErrBadProcess, pid, a.n)
+	}
+	return pid, nil
+}
+
+// N implements Scheduler.
+func (a *Adversarial) N() int { return a.n }
+
+// Threshold implements Scheduler. Adversaries carry no probabilistic
+// guarantee.
+func (a *Adversarial) Threshold() float64 { return 0 }
+
+// SingleOut returns a Strategy that starves victim: it cycles through
+// all other processes and never schedules the victim. Used in tests
+// and the E13 ablation to show what the stochastic model rules out.
+func SingleOut(victim int) Strategy {
+	return func(tau uint64, n int) int {
+		if n == 1 {
+			return 0
+		}
+		pid := int(tau % uint64(n-1))
+		if pid >= victim {
+			pid++
+		}
+		return pid
+	}
+}

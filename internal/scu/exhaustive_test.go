@@ -1,0 +1,217 @@
+package scu
+
+import (
+	"testing"
+
+	"pwf/internal/shmem"
+)
+
+// Exhaustive schedule enumeration ("model checking in the small"):
+// for two processes and bounded depth, run EVERY possible schedule
+// and assert the safety invariants. Unlike the randomized tests these
+// cover all interleavings, including the adversarial ones a
+// stochastic scheduler almost never produces.
+
+// forEverySchedule runs body once per schedule in {0,1}^depth.
+// body receives the schedule encoded in the bits of mask.
+func forEverySchedule(depth int, body func(mask uint32)) {
+	total := uint32(1) << depth
+	for mask := uint32(0); mask < total; mask++ {
+		body(mask)
+	}
+}
+
+func TestExhaustiveStackTwoProcesses(t *testing.T) {
+	const depth = 14
+	forEverySchedule(depth, func(mask uint32) {
+		st, err := NewStack(2, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(StackLayout(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs, err := st.Processes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if st.Violations() != 0 {
+			t.Fatalf("schedule %b: %d linearization violations", mask, st.Violations())
+		}
+		if st.Err() != nil {
+			t.Fatalf("schedule %b: %v", mask, st.Err())
+		}
+		if st.Pushes() < st.Pops() {
+			t.Fatalf("schedule %b: pops exceed pushes", mask)
+		}
+	})
+}
+
+func TestExhaustiveQueueTwoProcesses(t *testing.T) {
+	const depth = 14
+	forEverySchedule(depth, func(mask uint32) {
+		q, err := NewQueue(2, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(QueueLayout(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Init(mem)
+		procs, err := q.Processes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if q.Violations() != 0 {
+			t.Fatalf("schedule %b: %d FIFO violations", mask, q.Violations())
+		}
+		if q.Err() != nil {
+			t.Fatalf("schedule %b: %v", mask, q.Err())
+		}
+		if q.Enqueues() < q.Dequeues() {
+			t.Fatalf("schedule %b: dequeues exceed enqueues", mask)
+		}
+	})
+}
+
+func TestExhaustiveFetchIncTwoProcesses(t *testing.T) {
+	const depth = 16
+	forEverySchedule(depth, func(mask uint32) {
+		mem, err := shmem.New(FetchIncLayout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group, err := NewFetchIncGroup(2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, aok := group[0].(*FetchInc)
+		b, bok := group[1].(*FetchInc)
+		if !aok || !bok {
+			t.Fatal("not FetchInc processes")
+		}
+		var completions int64
+		for i := 0; i < depth; i++ {
+			var done bool
+			if (mask>>i)&1 == 0 {
+				done = a.Step(mem)
+			} else {
+				done = b.Step(mem)
+			}
+			if done {
+				completions++
+			}
+			if !a.Current(mem) && !b.Current(mem) {
+				t.Fatalf("schedule %b: no process holds the current value", mask)
+			}
+		}
+		if mem.Peek(0) != completions {
+			t.Fatalf("schedule %b: counter %d != completions %d",
+				mask, mem.Peek(0), completions)
+		}
+	})
+}
+
+func TestExhaustiveLFUniversalTwoProcesses(t *testing.T) {
+	const depth = 14
+	forEverySchedule(depth, func(mask uint32) {
+		u, err := NewLFUniversal(CounterObject{}, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(LFUniversalLayout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := make([]*LFUniversalProc, 2)
+		for pid := range procs {
+			p, err := u.Process(pid, func(pid int, seq int64) int64 { return int64(pid + 1) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[pid] = p
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if u.Violations() != 0 {
+			t.Fatalf("schedule %b: %d violations", mask, u.Violations())
+		}
+		if decodeState(mem.Peek(0)) != u.State() {
+			t.Fatalf("schedule %b: register state diverged from shadow", mask)
+		}
+	})
+}
+
+func TestExhaustiveWFUniversalTwoProcesses(t *testing.T) {
+	// The helping protocol has far more phases, so reduce the depth;
+	// 2^18 schedules with ~18 steps each still covers every
+	// interleaving of two full announce/build/install cycles.
+	const depth = 18
+	if testing.Short() {
+		t.Skip("exhaustive WF enumeration skipped in -short mode")
+	}
+	forEverySchedule(depth, func(mask uint32) {
+		u, err := NewWFUniversal(CounterObject{}, 2, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(WFUniversalLayout(2, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Init(mem)
+		procs := make([]*WFUniversalProc, 2)
+		for pid := range procs {
+			p, err := u.Process(pid, func(pid int, seq int64) int64 { return 1 })
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[pid] = p
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if u.Violations() != 0 {
+			t.Fatalf("schedule %b: %d violations", mask, u.Violations())
+		}
+		if u.Err() != nil {
+			t.Fatalf("schedule %b: %v", mask, u.Err())
+		}
+	})
+}
+
+func TestExhaustiveRCUTwoProcesses(t *testing.T) {
+	const depth = 14
+	forEverySchedule(depth, func(mask uint32) {
+		r, err := NewRCU(2, 1, 4, 0) // one reader, one updater
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(RCULayout(1, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs, err := r.Processes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if r.Violations() != 0 {
+			t.Fatalf("schedule %b: %d snapshot violations", mask, r.Violations())
+		}
+		if r.Err() != nil {
+			t.Fatalf("schedule %b: %v", mask, r.Err())
+		}
+	})
+}

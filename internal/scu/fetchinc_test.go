@@ -1,0 +1,173 @@
+package scu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFetchIncValidation(t *testing.T) {
+	if _, err := NewFetchInc(-1, 0); !errors.Is(err, ErrBadPID) {
+		t.Errorf("pid -1: %v", err)
+	}
+	if _, err := NewFetchInc(0, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("base -1: %v", err)
+	}
+	if _, err := NewFetchIncGroup(0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestFetchIncSoloSequence(t *testing.T) {
+	// A solo process succeeds every step and fetches 0, 1, 2, ...
+	mem := newMemory(t, FetchIncLayout)
+	p, err := NewFetchInc(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if !p.Step(mem) {
+			t.Fatalf("solo step %d did not complete", i)
+		}
+		if got := p.LastValue(); got != i {
+			t.Fatalf("fetched %d, want %d", got, i)
+		}
+	}
+	if got := mem.Peek(0); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if p.Completed() != 10 {
+		t.Fatalf("Completed = %d, want 10", p.Completed())
+	}
+}
+
+func TestFetchIncStaleProcessBecomesCurrent(t *testing.T) {
+	// A failing CAS returns the current value, moving the process from
+	// Stale to Current (Section 7.1): its next solo step must win.
+	mem := newMemory(t, FetchIncLayout)
+	a, err := NewFetchInc(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFetchInc(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Step(mem) { // a wins, counter = 1
+		t.Fatal("a's first step should win")
+	}
+	if b.Step(mem) { // b is stale: CAS(0->1) fails, b learns 1
+		t.Fatal("b's stale step should fail")
+	}
+	if !b.Current(mem) {
+		t.Fatal("after a failed CAS, b should hold the current value")
+	}
+	if !b.Step(mem) { // b is current: wins
+		t.Fatal("b's second step should win")
+	}
+	if got := b.LastValue(); got != 1 {
+		t.Fatalf("b fetched %d, want 1", got)
+	}
+}
+
+func TestFetchIncWinnerStaysCurrent(t *testing.T) {
+	mem := newMemory(t, FetchIncLayout)
+	p, err := NewFetchInc(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Step(mem) {
+		t.Fatal("solo step should win")
+	}
+	if !p.Current(mem) {
+		t.Fatal("winner should hold the current value")
+	}
+}
+
+func TestFetchIncCounterEqualsCompletions(t *testing.T) {
+	// Linearizability of the counter: its final value equals the total
+	// number of completed operations, and the fetched values are
+	// exactly 0 .. C-1 with no duplicates.
+	const n = 6
+	mem := newMemory(t, FetchIncLayout)
+	procs, err := NewFetchIncGroup(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 7)
+
+	fetched := make(map[int64]int)
+	sim.SetCompletionHook(func(step uint64, pid int) {
+		fi, ok := procs[pid].(*FetchInc)
+		if !ok {
+			t.Fatalf("process %d is not a FetchInc", pid)
+		}
+		fetched[fi.LastValue()]++
+	})
+	if err := sim.Run(30000); err != nil {
+		t.Fatal(err)
+	}
+
+	total := sim.TotalCompletions()
+	if got := mem.Peek(0); uint64(got) != total {
+		t.Fatalf("counter = %d, completions = %d", got, total)
+	}
+	for v := int64(0); v < int64(total); v++ {
+		if fetched[v] != 1 {
+			t.Fatalf("value %d fetched %d times, want exactly once", v, fetched[v])
+		}
+	}
+}
+
+func TestFetchIncSomeProcessAlwaysCurrent(t *testing.T) {
+	// The individual chain of Section 7.1 has 2^n - 1 states because
+	// the state where NO process holds the current value cannot occur.
+	const n = 4
+	mem := newMemory(t, FetchIncLayout)
+	group, err := NewFetchIncGroup(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*FetchInc, n)
+	for i, p := range group {
+		fi, ok := p.(*FetchInc)
+		if !ok {
+			t.Fatal("not a FetchInc")
+		}
+		procs[i] = fi
+	}
+	sim := uniformSim(t, mem, group, 8)
+	for step := 0; step < 5000; step++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		anyCurrent := false
+		for _, p := range procs {
+			if p.Current(mem) {
+				anyCurrent = true
+				break
+			}
+		}
+		if !anyCurrent {
+			t.Fatalf("no process holds the current value after step %d", step+1)
+		}
+	}
+}
+
+func TestFetchIncAllProcessesProgress(t *testing.T) {
+	const n = 8
+	mem := newMemory(t, FetchIncLayout)
+	procs, err := NewFetchIncGroup(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 9)
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if starved := sim.StarvedProcesses(); len(starved) != 0 {
+		t.Fatalf("starved: %v", starved)
+	}
+	if idx := sim.FairnessIndex(); idx < 0.95 {
+		t.Errorf("fairness index %v, want ~1", idx)
+	}
+}

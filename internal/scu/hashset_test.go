@@ -1,0 +1,189 @@
+package scu
+
+import (
+	"errors"
+	"testing"
+
+	"pwf/internal/shmem"
+)
+
+func newHashSet(t *testing.T, n, buckets, poolSize int) (*HashSet, *shmem.Memory) {
+	t.Helper()
+	h, err := NewHashSet(n, buckets, poolSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, HashSetLayout(n, buckets, poolSize))
+	h.Init(mem)
+	return h, mem
+}
+
+func TestHashSetValidation(t *testing.T) {
+	if _, err := NewHashSet(0, 4, 4, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := NewHashSet(2, 0, 4, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("buckets=0: %v", err)
+	}
+	if _, err := NewHashSet(2, 4, 0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("poolSize=0: %v", err)
+	}
+	h, err := NewHashSet(2, 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Process(5, 8); !errors.Is(err, ErrBadPID) {
+		t.Errorf("bad pid: %v", err)
+	}
+}
+
+func TestHashSetBucketForStable(t *testing.T) {
+	h, _ := newHashSet(t, 2, 8, 4)
+	for key := int64(1); key <= 100; key++ {
+		b1 := h.bucketFor(key)
+		b2 := h.bucketFor(key)
+		if b1 != b2 {
+			t.Fatalf("bucketFor(%d) unstable", key)
+		}
+		if b1 < 0 || b1 >= h.Buckets() {
+			t.Fatalf("bucketFor(%d) = %d out of range", key, b1)
+		}
+	}
+}
+
+func TestHashSetBucketsSpread(t *testing.T) {
+	h, _ := newHashSet(t, 2, 8, 4)
+	counts := make([]int, h.Buckets())
+	for key := int64(1); key <= 800; key++ {
+		counts[h.bucketFor(key)]++
+	}
+	for b, c := range counts {
+		if c < 50 || c > 150 {
+			t.Fatalf("bucket %d got %d of 800 keys; hash is badly skewed", b, c)
+		}
+	}
+}
+
+func TestHashSetSolo(t *testing.T) {
+	h, mem := newHashSet(t, 1, 4, 8)
+	p, err := h.Process(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for step := 0; completed < 60; step++ {
+		if step > 100000 {
+			t.Fatal("solo hash set stuck")
+		}
+		if p.Step(mem) {
+			completed++
+		}
+	}
+	if h.Violations() != 0 {
+		t.Fatalf("violations: %d", h.Violations())
+	}
+	if err := h.Audit(mem); err != nil {
+		t.Fatal(err)
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	if p.Ops() != 60 {
+		t.Fatalf("Ops = %d, want 60", p.Ops())
+	}
+}
+
+func TestHashSetConcurrentLinearizable(t *testing.T) {
+	const (
+		n        = 6
+		buckets  = 4
+		poolSize = 16
+		keyspace = 24
+	)
+	h, mem := newHashSet(t, n, buckets, poolSize)
+	procs, err := h.Processes(keyspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 81)
+	for chunk := 0; chunk < 10; chunk++ {
+		if err := sim.Run(20000); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Audit(mem); err != nil {
+			t.Fatalf("audit after chunk %d: %v", chunk, err)
+		}
+	}
+	if h.Violations() != 0 {
+		t.Fatalf("violations: %d", h.Violations())
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	if starved := sim.StarvedProcesses(); len(starved) != 0 {
+		t.Fatalf("starved: %v", starved)
+	}
+}
+
+func TestHashSetMoreBucketsLessContention(t *testing.T) {
+	// The point of hashing: with more buckets the same workload
+	// completes in fewer steps per op (contention drops). Compare 1
+	// bucket vs 8 buckets for the same n and keyspace.
+	run := func(buckets int, seed uint64) float64 {
+		const n = 8
+		h, mem := newHashSet(t, n, buckets, 16)
+		procs, err := h.Processes(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := uniformSim(t, mem, procs, seed)
+		if err := sim.Run(200000); err != nil {
+			t.Fatal(err)
+		}
+		if h.Violations() != 0 {
+			t.Fatalf("buckets=%d: violations %d", buckets, h.Violations())
+		}
+		w, err := sim.SystemLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	one := run(1, 82)
+	eight := run(8, 83)
+	if eight >= one {
+		t.Fatalf("8 buckets (W=%v) not faster than 1 bucket (W=%v)", eight, one)
+	}
+}
+
+func TestExhaustiveHashSetTwoProcesses(t *testing.T) {
+	const depth = 14
+	forEverySchedule(depth, func(mask uint32) {
+		h, err := NewHashSet(2, 2, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := shmem.New(HashSetLayout(2, 2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Init(mem)
+		procs := make([]*HashSetProc, 2)
+		for pid := range procs {
+			p, err := h.Process(pid, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[pid] = p
+		}
+		for i := 0; i < depth; i++ {
+			procs[(mask>>i)&1].Step(mem)
+		}
+		if h.Violations() != 0 {
+			t.Fatalf("schedule %b: %d violations", mask, h.Violations())
+		}
+		if err := h.Audit(mem); err != nil {
+			t.Fatalf("schedule %b: %v", mask, err)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package scu
+
+import "fmt"
+
+// Object is a deterministic sequential object with state and
+// operations encoded as int64, the common currency of the simulated
+// registers. Universal constructions (LFUniversal, WFUniversal) turn
+// any Object into a linearizable concurrent object, exactly as
+// Herlihy's universal construction does for arbitrary sequential
+// specifications [9].
+//
+// State handled by the lock-free construction must fit in 32 bits
+// (the register also carries a version tag); the wait-free
+// construction stores state in its own register and allows full
+// int64.
+type Object interface {
+	// Apply applies op to state, returning the new state and the
+	// operation's response. It must be deterministic.
+	Apply(state, op int64) (newState, response int64)
+	// Name identifies the object in diagnostics.
+	Name() string
+}
+
+// CounterObject is fetch-and-add: op is the addend, the response is
+// the pre-operation value.
+type CounterObject struct{}
+
+var _ Object = CounterObject{}
+
+// Apply implements Object.
+func (CounterObject) Apply(state, op int64) (int64, int64) {
+	return state + op, state
+}
+
+// Name implements Object.
+func (CounterObject) Name() string { return "counter" }
+
+// MaxObject is a max-register: op proposes a value, the state is the
+// maximum proposed so far, and the response is the maximum before the
+// operation.
+type MaxObject struct{}
+
+var _ Object = MaxObject{}
+
+// Apply implements Object.
+func (MaxObject) Apply(state, op int64) (int64, int64) {
+	if op > state {
+		return op, state
+	}
+	return state, state
+}
+
+// Name implements Object.
+func (MaxObject) Name() string { return "max-register" }
+
+// ModCounterObject is a counter modulo a fixed bound — useful in
+// tests precisely because its state values repeat, which would expose
+// any missing version tagging (ABA) in a construction.
+type ModCounterObject struct {
+	// Mod is the modulus; values cycle through 0..Mod-1. Must be >= 1.
+	Mod int64
+}
+
+var _ Object = ModCounterObject{}
+
+// Apply implements Object.
+func (m ModCounterObject) Apply(state, op int64) (int64, int64) {
+	mod := m.Mod
+	if mod < 1 {
+		mod = 1
+	}
+	next := (state + op) % mod
+	if next < 0 {
+		next += mod
+	}
+	return next, state
+}
+
+// Name implements Object.
+func (m ModCounterObject) Name() string { return fmt.Sprintf("counter-mod-%d", m.Mod) }

@@ -1,0 +1,247 @@
+package scu
+
+import (
+	"errors"
+	"testing"
+
+	"pwf/internal/shmem"
+)
+
+func newQueue(t *testing.T, n, poolSize int) (*Queue, *shmem.Memory) {
+	t.Helper()
+	q, err := NewQueue(n, poolSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, QueueLayout(n, poolSize))
+	q.Init(mem)
+	return q, mem
+}
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue(0, 4, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := NewQueue(2, 0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("poolSize=0: %v", err)
+	}
+	if _, err := NewQueue(2, 4, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("base=-1: %v", err)
+	}
+	q, err := NewQueue(2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Process(0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("uninitialized queue: %v", err)
+	}
+	mem := newMemory(t, QueueLayout(2, 4))
+	q.Init(mem)
+	if _, err := q.Process(5); !errors.Is(err, ErrBadPID) {
+		t.Errorf("pid out of range: %v", err)
+	}
+}
+
+func TestQueueInitState(t *testing.T) {
+	q, mem := newQueue(t, 2, 4)
+	if mem.Peek(q.headReg()) == 0 || mem.Peek(q.headReg()) != mem.Peek(q.tailReg()) {
+		t.Fatal("Init must set head == tail == dummy")
+	}
+	if q.Length() != 0 {
+		t.Fatalf("initial length %d, want 0", q.Length())
+	}
+}
+
+func TestQueueSoloEnqueueDequeue(t *testing.T) {
+	q, mem := newQueue(t, 1, 4)
+	p, err := q.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	for step := 0; completions < 20; step++ {
+		if step > 10000 {
+			t.Fatal("solo workload stuck")
+		}
+		if p.Step(mem) {
+			completions++
+		}
+	}
+	if q.Violations() != 0 {
+		t.Fatalf("violations: %d", q.Violations())
+	}
+	if q.Err() != nil {
+		t.Fatalf("structural error: %v", q.Err())
+	}
+	deq := p.Dequeued()
+	if len(deq) != 10 {
+		t.Fatalf("dequeues recorded = %d, want 10", len(deq))
+	}
+	// Solo alternating: the i-th dequeue returns the i-th enqueue.
+	for i, v := range deq {
+		if want := proposal(0, int64(i+1)); v != want {
+			t.Errorf("dequeue %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestQueueSoloLengthTracksOps(t *testing.T) {
+	q, mem := newQueue(t, 1, 4)
+	p, err := q.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p.Step(mem) { // first op: enqueue
+	}
+	if q.Length() != 1 {
+		t.Fatalf("length after enqueue = %d, want 1", q.Length())
+	}
+	for !p.Step(mem) { // second op: dequeue
+	}
+	if q.Length() != 0 {
+		t.Fatalf("length after dequeue = %d, want 0", q.Length())
+	}
+}
+
+func TestQueueConcurrentLinearizable(t *testing.T) {
+	const (
+		n        = 6
+		poolSize = 32
+		steps    = 200000
+	)
+	q, mem := newQueue(t, n, poolSize)
+	procs, err := q.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 31)
+	if err := sim.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if q.Err() != nil {
+		t.Fatalf("structural error: %v", q.Err())
+	}
+	if q.Violations() != 0 {
+		t.Fatalf("FIFO violations: %d", q.Violations())
+	}
+	if q.Enqueues() == 0 || q.Dequeues() == 0 {
+		t.Fatalf("degenerate run: enq=%d deq=%d", q.Enqueues(), q.Dequeues())
+	}
+	if q.Enqueues() != q.Dequeues()+uint64(q.Length()) {
+		t.Fatalf("conservation violated: enq=%d deq=%d len=%d",
+			q.Enqueues(), q.Dequeues(), q.Length())
+	}
+}
+
+func TestQueueNoDuplicateDequeues(t *testing.T) {
+	const (
+		n        = 4
+		poolSize = 32
+	)
+	q, mem := newQueue(t, n, poolSize)
+	procs, err := q.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 32)
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if q.Err() != nil {
+		t.Fatalf("structural error: %v", q.Err())
+	}
+	seen := make(map[int64]bool)
+	var nonEmpty uint64
+	for _, mp := range procs {
+		p, ok := mp.(*QueueProc)
+		if !ok {
+			t.Fatal("not a QueueProc")
+		}
+		for _, v := range p.Dequeued() {
+			if v == 0 {
+				continue
+			}
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			nonEmpty++
+		}
+	}
+	if nonEmpty != q.Dequeues() {
+		t.Fatalf("non-empty dequeues %d != Dequeues() %d", nonEmpty, q.Dequeues())
+	}
+}
+
+func TestQueuePerProcessFIFO(t *testing.T) {
+	// Values enqueued by one process must be dequeued in enqueue order
+	// (FIFO is global, so per-producer order is preserved). Verify by
+	// checking that, for each producer, the sequence numbers of its
+	// dequeued values appear in increasing order across the global
+	// dequeue sequence.
+	const n = 4
+	q, mem := newQueue(t, n, 32)
+	procs, err := q.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	sim := uniformSim(t, mem, procs, 33)
+	sim.SetCompletionHook(func(step uint64, pid int) {
+		p, ok := procs[pid].(*QueueProc)
+		if !ok {
+			return
+		}
+		if deq := p.Dequeued(); len(deq) > 0 {
+			// The hook fires after each op; record the most recent
+			// dequeue if this completion was a dequeue. Enqueues also
+			// complete, so dedupe by length change.
+			_ = deq
+		}
+	})
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	_ = order
+	// Reconstruct per-producer order from each consumer's local list:
+	// within ONE consumer, values from the same producer must be in
+	// increasing sequence order (FIFO implies this restriction).
+	for _, mp := range procs {
+		p, ok := mp.(*QueueProc)
+		if !ok {
+			t.Fatal("not a QueueProc")
+		}
+		lastSeq := make(map[int64]int64) // producer -> last seq seen
+		for _, v := range p.Dequeued() {
+			if v == 0 {
+				continue
+			}
+			producer := v >> 32
+			seq := v & 0xffffffff
+			if prev, ok := lastSeq[producer]; ok && seq <= prev {
+				t.Fatalf("consumer saw producer %d values out of order: %d after %d",
+					producer-1, seq, prev)
+			}
+			lastSeq[producer] = seq
+		}
+	}
+}
+
+func TestQueueAllProcessesProgress(t *testing.T) {
+	const n = 5
+	q, mem := newQueue(t, n, 32)
+	procs, err := q.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 34)
+	if err := sim.Run(150000); err != nil {
+		t.Fatal(err)
+	}
+	if starved := sim.StarvedProcesses(); len(starved) != 0 {
+		t.Fatalf("starved: %v", starved)
+	}
+	if q.Violations() != 0 {
+		t.Fatalf("violations: %d", q.Violations())
+	}
+}

@@ -1,0 +1,169 @@
+package scu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pwf/internal/shmem"
+)
+
+// Property-based tests on the core algorithm structures.
+
+func TestQuickProposalUniqueness(t *testing.T) {
+	// Proposals from distinct (pid, seq) pairs never collide — the
+	// property the paper requires of the decision-register values.
+	f := func(pidA, pidB uint8, seqA, seqB uint16) bool {
+		a := proposal(int(pidA), int64(seqA))
+		b := proposal(int(pidB), int64(seqB))
+		if pidA == pidB && seqA == seqB {
+			return a == b
+		}
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSoloSCUPeriod(t *testing.T) {
+	// Property: a solo SCU(q, s) process completes exactly every
+	// q + s + 1 steps, for any valid parameters.
+	f := func(qRaw, sRaw uint8) bool {
+		q := int(qRaw % 6)
+		s := int(sRaw%4) + 1
+		mem, err := shmem.New(SCULayout(s))
+		if err != nil {
+			return false
+		}
+		p, err := NewSCU(0, q, s, 0)
+		if err != nil {
+			return false
+		}
+		for op := 0; op < 3; op++ {
+			for i := 0; i < q+s; i++ {
+				if p.Step(mem) {
+					return false
+				}
+			}
+			if !p.Step(mem) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLFUniversalSequentialEquivalence(t *testing.T) {
+	// Property: for any short random schedule over 3 processes, the
+	// lock-free universal counter commits operations that replay
+	// exactly on the sequential object (zero violations), and the
+	// final register state matches the shadow.
+	f := func(schedule []uint8) bool {
+		const n = 3
+		u, err := NewLFUniversal(CounterObject{}, n, 0)
+		if err != nil {
+			return false
+		}
+		mem, err := shmem.New(LFUniversalLayout)
+		if err != nil {
+			return false
+		}
+		procs := make([]*LFUniversalProc, n)
+		for pid := range procs {
+			p, err := u.Process(pid, func(pid int, seq int64) int64 { return int64(pid + 1) })
+			if err != nil {
+				return false
+			}
+			procs[pid] = p
+		}
+		for _, b := range schedule {
+			procs[int(b)%n].Step(mem)
+		}
+		if u.Violations() != 0 {
+			return false
+		}
+		return decodeState(mem.Peek(0)) == u.State()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVersionedEncoding(t *testing.T) {
+	// encode/decode round-trips any version up to 2^31 (the documented
+	// range; versions are op counts) and any 32-bit state, including
+	// negative states.
+	f := func(versionRaw uint32, state int32) bool {
+		version := int64(versionRaw % (1 << 31))
+		v := encodeVersioned(version, int64(state))
+		return decodeState(v) == int64(state) && decodeVersion(v) == version
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStackRefEncoding(t *testing.T) {
+	// refSlot inverts the slot component of the tagged reference for
+	// any tag and slot within range.
+	st, err := NewStack(4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(slotRaw uint8, tagRaw uint16) bool {
+		slot := int(slotRaw) % (4 * 8)
+		st.tags[slot] = int64(tagRaw) + 1
+		return refSlot(st.ref(slot)) == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFetchIncArbitrarySchedules(t *testing.T) {
+	// Property: under ANY schedule, the counter equals the number of
+	// completed operations and some process always holds the current
+	// value.
+	f := func(schedule []uint8) bool {
+		const n = 4
+		mem, err := shmem.New(FetchIncLayout)
+		if err != nil {
+			return false
+		}
+		group, err := NewFetchIncGroup(n, 0)
+		if err != nil {
+			return false
+		}
+		procs := make([]*FetchInc, n)
+		for i, p := range group {
+			fi, ok := p.(*FetchInc)
+			if !ok {
+				return false
+			}
+			procs[i] = fi
+		}
+		var completions int64
+		for _, b := range schedule {
+			if procs[int(b)%n].Step(mem) {
+				completions++
+			}
+			anyCurrent := false
+			for _, p := range procs {
+				if p.Current(mem) {
+					anyCurrent = true
+					break
+				}
+			}
+			if !anyCurrent {
+				return false
+			}
+		}
+		return mem.Peek(0) == completions
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

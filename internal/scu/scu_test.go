@@ -1,0 +1,252 @@
+package scu
+
+import (
+	"errors"
+	"testing"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/shmem"
+)
+
+func newMemory(t *testing.T, size int) *shmem.Memory {
+	t.Helper()
+	mem, err := shmem.New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+func uniformSim(t *testing.T, mem *shmem.Memory, procs []machine.Process, seed uint64) *machine.Sim {
+	t.Helper()
+	u, err := sched.NewUniform(len(procs), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := machine.New(mem, procs, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestSCUConstructorValidation(t *testing.T) {
+	if _, err := NewSCU(-1, 0, 1, 0); !errors.Is(err, ErrBadPID) {
+		t.Errorf("pid -1: %v", err)
+	}
+	if _, err := NewSCU(0, -1, 1, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("q=-1: %v", err)
+	}
+	if _, err := NewSCU(0, 0, 0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("s=0: %v", err)
+	}
+	if _, err := NewSCU(0, 0, 1, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("base=-1: %v", err)
+	}
+	if _, err := NewSCUGroup(0, 1, 1, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestSCUSoloCompletesEveryQPlusSPlusOneSteps(t *testing.T) {
+	// A solo SCU(q, s) process never fails its CAS, so each operation
+	// takes exactly q + s + 1 steps.
+	const (
+		q = 3
+		s = 2
+	)
+	mem := newMemory(t, SCULayout(s))
+	p, err := NewSCU(0, q, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 10; op++ {
+		for i := 0; i < q+s; i++ {
+			if p.Step(mem) {
+				t.Fatalf("op %d completed early at step %d", op, i)
+			}
+		}
+		if !p.Step(mem) {
+			t.Fatalf("op %d did not complete at step %d", op, q+s+1)
+		}
+	}
+}
+
+func TestSCUZeroPreamble(t *testing.T) {
+	// SCU(0, 1) solo: read R, CAS — two steps per op.
+	mem := newMemory(t, SCULayout(1))
+	p, err := NewSCU(0, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 5; op++ {
+		if p.Step(mem) {
+			t.Fatal("completed on the scan step")
+		}
+		if !p.Step(mem) {
+			t.Fatal("did not complete on the CAS step")
+		}
+	}
+}
+
+func TestSCUCASFailureRestartsScanOnly(t *testing.T) {
+	// Interfere with R between the scan and the CAS: the process must
+	// fail its validation and restart at the scan, not the preamble.
+	const (
+		q = 2
+		s = 1
+	)
+	mem := newMemory(t, SCULayout(s))
+	p, err := NewSCU(0, q, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preamble (2 steps) + scan (1 step).
+	for i := 0; i < q+s; i++ {
+		if p.Step(mem) {
+			t.Fatal("early completion")
+		}
+	}
+	mem.Poke(0, 12345) // another process changes R
+	if p.Step(mem) {
+		t.Fatal("CAS should have failed")
+	}
+	// Restart: scan (1) + CAS (1), no preamble steps.
+	if p.Step(mem) {
+		t.Fatal("completed on the re-scan step")
+	}
+	if !p.Step(mem) {
+		t.Fatal("did not complete after re-scan + CAS")
+	}
+}
+
+func TestSCUGroupEveryCompletionChangesR(t *testing.T) {
+	const n = 4
+	mem := newMemory(t, SCULayout(2))
+	procs, err := NewSCUGroup(n, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 1)
+
+	seen := map[int64]bool{0: true}
+	sim.SetCompletionHook(func(step uint64, pid int) {
+		v := mem.Peek(0)
+		if seen[v] {
+			t.Errorf("R value %d repeated after completion at step %d", v, step)
+		}
+		seen[v] = true
+		// The winning proposal must carry the winner's id.
+		if got := int(v>>32) - 1; got != pid {
+			t.Errorf("R encodes pid %d, but pid %d completed", got, pid)
+		}
+	})
+	if err := sim.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalCompletions() == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestSCUGroupAllProcessesComplete(t *testing.T) {
+	// Theorem 3 in action: under the uniform stochastic scheduler
+	// every process completes operations.
+	const n = 8
+	mem := newMemory(t, SCULayout(1))
+	procs, err := NewSCUGroup(n, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 2)
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if starved := sim.StarvedProcesses(); len(starved) != 0 {
+		t.Fatalf("starved processes under uniform scheduler: %v", starved)
+	}
+	if idx := sim.FairnessIndex(); idx < 0.95 {
+		t.Errorf("fairness index %v, want ~1", idx)
+	}
+}
+
+func TestSCUCompletionsMatchCASSuccesses(t *testing.T) {
+	const n = 4
+	mem := newMemory(t, SCULayout(1))
+	procs, err := NewSCUGroup(n, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 3)
+	if err := sim.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	c := mem.Counters()
+	succ := c.CASes - c.CASFailures
+	if sim.TotalCompletions() != succ {
+		t.Fatalf("completions %d != successful CASes %d", sim.TotalCompletions(), succ)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := NewParallel(0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("q=0: %v", err)
+	}
+	if _, err := NewParallel(1, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("reg=-1: %v", err)
+	}
+	if _, err := NewParallelGroup(0, 1, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestParallelCompletesEveryQSteps(t *testing.T) {
+	mem := newMemory(t, 1)
+	p, err := NewParallel(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 5; op++ {
+		for i := 0; i < 3; i++ {
+			if p.Step(mem) {
+				t.Fatalf("completed early at step %d", i)
+			}
+		}
+		if !p.Step(mem) {
+			t.Fatal("did not complete at step q")
+		}
+	}
+}
+
+func TestParallelIndependence(t *testing.T) {
+	// Parallel code never interferes: with n processes each taking k
+	// steps, completions = per-process steps / q summed up exactly.
+	const (
+		n = 5
+		q = 3
+	)
+	mem := newMemory(t, 1)
+	procs, err := NewParallelGroup(n, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sched.NewRoundRobin(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := machine.New(mem, procs, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 12 // multiples of q so each process completes rounds/q ops
+	if err := sim.Run(uint64(n * rounds)); err != nil {
+		t.Fatal(err)
+	}
+	for pid, c := range sim.Completions() {
+		if c != rounds/q {
+			t.Errorf("process %d completed %d ops, want %d", pid, c, rounds/q)
+		}
+	}
+}

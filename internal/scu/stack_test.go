@@ -1,0 +1,229 @@
+package scu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStackValidation(t *testing.T) {
+	if _, err := NewStack(0, 4, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := NewStack(2, 0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("poolSize=0: %v", err)
+	}
+	if _, err := NewStack(2, 4, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("base=-1: %v", err)
+	}
+	st, err := NewStack(2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Process(2); !errors.Is(err, ErrBadPID) {
+		t.Errorf("pid out of range: %v", err)
+	}
+}
+
+func TestStackLayout(t *testing.T) {
+	if got := StackLayout(2, 3); got != 1+2*6 {
+		t.Fatalf("StackLayout(2,3) = %d, want 13", got)
+	}
+}
+
+func TestStackSoloPushPop(t *testing.T) {
+	// One process alternating push/pop: every pop returns the value it
+	// just pushed.
+	st, err := NewStack(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(1, 4))
+	p, err := st.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	for step := 0; completions < 20; step++ {
+		if step > 10000 {
+			t.Fatal("solo workload stuck")
+		}
+		if p.Step(mem) {
+			completions++
+		}
+	}
+	if st.Violations() != 0 {
+		t.Fatalf("violations: %d", st.Violations())
+	}
+	if st.Err() != nil {
+		t.Fatalf("structural error: %v", st.Err())
+	}
+	popped := p.Popped()
+	if len(popped) != 10 {
+		t.Fatalf("pops recorded = %d, want 10", len(popped))
+	}
+	for i, v := range popped {
+		if v == 0 {
+			t.Errorf("pop %d was empty; solo alternating workload never sees empty", i)
+		}
+		// Solo LIFO: each pop returns the immediately preceding push,
+		// whose sequence number is i+1.
+		if want := proposal(0, int64(i+1)); v != want {
+			t.Errorf("pop %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestStackSoloEmptyPopOrdering(t *testing.T) {
+	// Start a solo process with a pop-first phase by popping the
+	// initial empty stack: drive a fresh process whose first op is a
+	// push, complete it, pop it, then the next pop would see empty —
+	// but the workload alternates, so instead verify the depth
+	// bookkeeping across ops.
+	st, err := NewStack(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(1, 4))
+	p, err := st.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete one push.
+	for !p.Step(mem) {
+	}
+	if st.Depth() != 1 {
+		t.Fatalf("depth after push = %d, want 1", st.Depth())
+	}
+	// Complete one pop.
+	for !p.Step(mem) {
+	}
+	if st.Depth() != 0 {
+		t.Fatalf("depth after pop = %d, want 0", st.Depth())
+	}
+}
+
+func TestStackConcurrentLinearizable(t *testing.T) {
+	const (
+		n        = 6
+		poolSize = 32
+		steps    = 200000
+	)
+	st, err := NewStack(n, poolSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(n, poolSize))
+	procs, err := st.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 21)
+	if err := sim.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if st.Err() != nil {
+		t.Fatalf("structural error: %v", st.Err())
+	}
+	if st.Violations() != 0 {
+		t.Fatalf("linearization violations: %d", st.Violations())
+	}
+	if st.Pushes() == 0 || st.Pops() == 0 {
+		t.Fatalf("degenerate run: pushes=%d pops=%d", st.Pushes(), st.Pops())
+	}
+	// Conservation: pushes = pops + current depth.
+	if st.Pushes() != st.Pops()+uint64(st.Depth()) {
+		t.Fatalf("conservation violated: pushes=%d pops=%d depth=%d",
+			st.Pushes(), st.Pops(), st.Depth())
+	}
+}
+
+func TestStackNoDuplicatePops(t *testing.T) {
+	const (
+		n        = 4
+		poolSize = 32
+	)
+	st, err := NewStack(n, poolSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(n, poolSize))
+	procs, err := st.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 22)
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if st.Err() != nil {
+		t.Fatalf("structural error: %v", st.Err())
+	}
+	seen := make(map[int64]bool)
+	for _, mp := range procs {
+		p, ok := mp.(*StackProc)
+		if !ok {
+			t.Fatal("not a StackProc")
+		}
+		for _, v := range p.Popped() {
+			if v == 0 {
+				continue // empty pop
+			}
+			if seen[v] {
+				t.Fatalf("value %d popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	// A pop counts at its CAS; the value read happens one step later,
+	// so up to n pops can be in flight when the simulation stops.
+	if inFlight := st.Pops() - uint64(len(seen)); inFlight > n {
+		t.Fatalf("distinct popped values %d vs pops %d: %d in flight, max %d",
+			len(seen), st.Pops(), inFlight, n)
+	}
+}
+
+func TestStackAllProcessesProgress(t *testing.T) {
+	const n = 5
+	st, err := NewStack(n, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(n, 32))
+	procs, err := st.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 23)
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if starved := sim.StarvedProcesses(); len(starved) != 0 {
+		t.Fatalf("starved: %v", starved)
+	}
+}
+
+func TestStackDrainShadowMatchesDepth(t *testing.T) {
+	st, err := NewStack(2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemory(t, StackLayout(2, 8))
+	procs, err := st.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uniformSim(t, mem, procs, 24)
+	if err := sim.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	drained := st.DrainShadow()
+	if len(drained) != st.Depth() {
+		t.Fatalf("drained %d refs, depth %d", len(drained), st.Depth())
+	}
+	// The top of the drained shadow must match the top register.
+	if st.Depth() > 0 {
+		if got := mem.Peek(0); got != drained[0] {
+			t.Fatalf("top register %d != shadow top %d", got, drained[0])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package shmem provides the simulated shared-memory substrate of the
+// model in Section 2.1: a finite array of atomic registers supporting
+// read, write, compare-and-swap, and the augmented compare-and-swap
+// (which returns the current value; Section 7 uses it for the simpler
+// fetch-and-increment counter).
+//
+// The simulation is discrete-time and single-threaded: the scheduler
+// picks one process per time unit and that process performs exactly
+// one shared-memory operation. Memory therefore needs no internal
+// locking; the machine package serialises access.
+//
+// Every operation counts as one system step. Memory keeps per-kind
+// operation counters and, optionally, a bounded trace of operations
+// for debugging and history reconstruction.
+package shmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpKind identifies a shared-memory operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpCAS
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op records a single shared-memory operation in a trace.
+type Op struct {
+	Kind OpKind
+	Reg  int
+	// Arg is the written value for writes, the expected value for CAS.
+	Arg int64
+	// Arg2 is the new value for CAS.
+	Arg2 int64
+	// Result is the value read (reads) or the register's prior value
+	// (CAS).
+	Result int64
+	// OK reports CAS success.
+	OK bool
+}
+
+// Counters aggregates the number of operations by kind.
+type Counters struct {
+	Reads       uint64
+	Writes      uint64
+	CASes       uint64
+	CASFailures uint64
+}
+
+// Total returns the total number of shared-memory operations, i.e. the
+// number of system steps spent in memory.
+func (c Counters) Total() uint64 { return c.Reads + c.Writes + c.CASes }
+
+// Memory is a finite array of simulated atomic registers. The zero
+// value is unusable; construct with New.
+type Memory struct {
+	regs     []int64
+	counters Counters
+
+	trace      []Op
+	traceLimit int
+}
+
+// New allocates a memory with size registers, all initially zero.
+func New(size int) (*Memory, error) {
+	if size < 0 {
+		return nil, errors.New("shmem: negative size")
+	}
+	return &Memory{regs: make([]int64, size)}, nil
+}
+
+// Size returns the number of registers.
+func (m *Memory) Size() int { return len(m.regs) }
+
+// Reset zeroes every register and clears counters and trace. The
+// register count is unchanged.
+func (m *Memory) Reset() {
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	m.counters = Counters{}
+	m.trace = m.trace[:0]
+}
+
+// Read returns the value of register r. Out-of-range register indices
+// panic, exactly like slice indexing: register handles are allocated
+// by the caller at construction time, so a bad index is a programming
+// error, not a runtime condition.
+func (m *Memory) Read(r int) int64 {
+	v := m.regs[r]
+	m.counters.Reads++
+	m.record(Op{Kind: OpRead, Reg: r, Result: v})
+	return v
+}
+
+// Write sets register r to v.
+func (m *Memory) Write(r int, v int64) {
+	m.regs[r] = v
+	m.counters.Writes++
+	m.record(Op{Kind: OpWrite, Reg: r, Arg: v})
+}
+
+// CAS atomically compares register r with expected and, on a match,
+// writes newVal. It returns true on success (Section 2.1 semantics).
+func (m *Memory) CAS(r int, expected, newVal int64) bool {
+	old := m.regs[r]
+	ok := old == expected
+	if ok {
+		m.regs[r] = newVal
+	}
+	m.counters.CASes++
+	if !ok {
+		m.counters.CASFailures++
+	}
+	m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	return ok
+}
+
+// CASGet is the augmented compare-and-swap of Section 7: it behaves
+// like CAS but returns the register's value prior to the operation,
+// matching architectures whose CAS returns the current value.
+func (m *Memory) CASGet(r int, expected, newVal int64) (prior int64, swapped bool) {
+	old := m.regs[r]
+	ok := old == expected
+	if ok {
+		m.regs[r] = newVal
+	}
+	m.counters.CASes++
+	if !ok {
+		m.counters.CASFailures++
+	}
+	m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	return old, ok
+}
+
+// Peek returns register r's value without counting a step. It exists
+// for assertions and metrics, never for algorithm steps.
+func (m *Memory) Peek(r int) int64 { return m.regs[r] }
+
+// Poke sets register r without counting a step; for test setup only.
+func (m *Memory) Poke(r int, v int64) { m.regs[r] = v }
+
+// Counters returns a snapshot of the operation counters.
+func (m *Memory) Counters() Counters { return m.counters }
+
+// Steps returns the total number of shared-memory operations executed.
+func (m *Memory) Steps() uint64 { return m.counters.Total() }
+
+// EnableTrace starts recording up to limit operations (0 disables).
+// Operations beyond the limit are counted but not recorded.
+func (m *Memory) EnableTrace(limit int) {
+	m.traceLimit = limit
+	if limit > 0 && cap(m.trace) < limit {
+		m.trace = make([]Op, 0, limit)
+	} else {
+		m.trace = m.trace[:0]
+	}
+}
+
+// Trace returns the recorded operations (a copy).
+func (m *Memory) Trace() []Op {
+	out := make([]Op, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+func (m *Memory) record(op Op) {
+	if m.traceLimit > 0 && len(m.trace) < m.traceLimit {
+		m.trace = append(m.trace, op)
+	}
+}

@@ -1,0 +1,313 @@
+// Package pwf is the public API of the reproduction of Alistarh,
+// Censor-Hillel and Shavit, "Are Lock-Free Concurrent Algorithms
+// Practically Wait-Free?" (STOC 2014).
+//
+// The package exposes three layers:
+//
+//   - Simulation: build a discrete-time shared-memory system — an
+//     algorithm from the class SCU(q, s), a fetch-and-increment
+//     counter, the unbounded Algorithm 1, a Treiber stack or a
+//     Michael–Scott queue — under a stochastic scheduler, and measure
+//     the paper's latency and fairness metrics (Simulate*, NewSim).
+//
+//   - Exact analysis: the paper's Markov chains built exactly for
+//     small n, with stationary distributions, latencies, and lifting
+//     verification (Exact*, VerifyLifting*).
+//
+//   - Native measurement: real goroutine/atomic counterparts with the
+//     atomic-ticket schedule recorder of Appendix A and the
+//     completion-rate harness of Appendix B (RecordSchedule,
+//     Measure*).
+//
+// The deeper substrates (custom schedulers, raw chains, the balls-
+// into-bins game) live in the internal packages and are re-exported
+// here as aliases where they are part of the supported API.
+package pwf
+
+import (
+	"pwf/internal/chains"
+	"pwf/internal/machine"
+	"pwf/internal/markov"
+	"pwf/internal/native"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// Re-exported core types. These aliases are the supported surface of
+// the underlying packages; their methods are documented there.
+type (
+	// Sim is a discrete-time simulation of n processes under a
+	// scheduler.
+	Sim = machine.Sim
+	// Process is one simulated algorithm instance; every Step is one
+	// shared-memory operation.
+	Process = machine.Process
+	// Memory is the simulated array of atomic registers.
+	Memory = shmem.Memory
+	// Scheduler picks the process to step at each time unit
+	// (Definition 1).
+	Scheduler = sched.Scheduler
+	// Chain is a finite Markov chain.
+	Chain = markov.Chain
+	// ChainAnalysis bundles a chain with its success structure and
+	// latency accessors.
+	ChainAnalysis = chains.Analysis
+	// LiftingReport carries the numerical residuals of a lifting
+	// verification.
+	LiftingReport = markov.LiftingReport
+	// NativeSchedule is a recovered real-scheduler interleaving.
+	NativeSchedule = native.Schedule
+	// RateResult is a native completion-rate measurement.
+	RateResult = native.RateResult
+)
+
+// NewUniformScheduler returns the paper's uniform stochastic
+// scheduler over n processes, seeded deterministically.
+func NewUniformScheduler(n int, seed uint64) (*sched.Uniform, error) {
+	return sched.NewUniform(n, rng.New(seed))
+}
+
+// NewStickyScheduler returns a Markov-modulated scheduler that
+// reschedules the previous process with probability rho (still
+// stochastic for rho < 1).
+func NewStickyScheduler(n int, rho float64, seed uint64) (*sched.Sticky, error) {
+	return sched.NewSticky(n, rho, rng.New(seed))
+}
+
+// NewRoundRobinScheduler returns the deterministic fair baseline.
+func NewRoundRobinScheduler(n int) (*sched.RoundRobin, error) {
+	return sched.NewRoundRobin(n)
+}
+
+// NewMemory allocates a simulated shared memory with the given number
+// of registers. Needed explicitly for objects that require
+// initialisation before the first step (Queue, WFUniversal).
+func NewMemory(size int) (*Memory, error) { return shmem.New(size) }
+
+// NewSim wires processes, a scheduler and a fresh memory of the given
+// size into a simulation.
+func NewSim(memSize int, procs []Process, s Scheduler) (*Sim, error) {
+	mem, err := shmem.New(memSize)
+	if err != nil {
+		return nil, err
+	}
+	return machine.New(mem, procs, s)
+}
+
+// NewSimOn wires processes and a scheduler onto an existing memory —
+// use with NewMemory when the object needs an Init call first.
+func NewSimOn(mem *Memory, procs []Process, s Scheduler) (*Sim, error) {
+	return machine.New(mem, procs, s)
+}
+
+// CounterSpec returns the fetch-and-add sequential specification.
+func CounterSpec() SequentialObject { return scu.CounterObject{} }
+
+// MaxRegisterSpec returns the max-register sequential specification.
+func MaxRegisterSpec() SequentialObject { return scu.MaxObject{} }
+
+// NewSCUProcesses builds n processes executing Algorithm 2 with
+// parameters (q, s) on a fresh object at register 0; the memory must
+// have at least SCUMemSize(s) registers.
+func NewSCUProcesses(n, q, s int) ([]Process, error) {
+	return scu.NewSCUGroup(n, q, s, 0)
+}
+
+// SCUMemSize returns the number of registers an SCU(q, s) object
+// needs.
+func SCUMemSize(s int) int { return scu.SCULayout(s) }
+
+// NewFetchIncProcesses builds n processes executing the augmented-CAS
+// fetch-and-increment counter (Algorithm 5) at register 0; the memory
+// needs FetchIncMemSize registers.
+func NewFetchIncProcesses(n int) ([]Process, error) {
+	return scu.NewFetchIncGroup(n, 0)
+}
+
+// FetchIncMemSize is the register footprint of the counter.
+const FetchIncMemSize = scu.FetchIncLayout
+
+// NewUnboundedProcesses builds n processes executing Algorithm 1, the
+// unbounded lock-free algorithm of Lemma 2. waitFactor 0 selects the
+// paper's n². The memory needs UnboundedMemSize registers.
+func NewUnboundedProcesses(n int, waitFactor int64) ([]Process, error) {
+	return scu.NewUnboundedGroup(n, 0, waitFactor)
+}
+
+// UnboundedMemSize is the register footprint of Algorithm 1.
+const UnboundedMemSize = scu.UnboundedLayout
+
+// Latencies aggregates the measurements of one simulation run.
+type Latencies struct {
+	// System is the expected number of system steps between two
+	// completions by anyone (the paper's system latency W).
+	System float64
+	// Individual is the mean over processes of the expected number of
+	// system steps between two completions by the same process (W_i).
+	Individual float64
+	// CompletionRate is completions per system step (Figure 5's
+	// y-axis; ≈ 1/System).
+	CompletionRate float64
+	// Fairness is Jain's fairness index of per-process completion
+	// counts (1 = perfectly fair).
+	Fairness float64
+	// Completions is the total number of completed operations in the
+	// measurement window.
+	Completions uint64
+}
+
+// measure runs warmup steps, discards metrics, runs the measurement
+// window and collects Latencies.
+func measure(sim *Sim, steps uint64) (Latencies, error) {
+	if err := sim.Run(steps / 10); err != nil {
+		return Latencies{}, err
+	}
+	sim.ResetMetrics()
+	if err := sim.Run(steps); err != nil {
+		return Latencies{}, err
+	}
+	var out Latencies
+	var err error
+	if out.System, err = sim.SystemLatency(); err != nil {
+		return Latencies{}, err
+	}
+	if out.Individual, err = sim.MeanIndividualLatency(); err != nil {
+		return Latencies{}, err
+	}
+	out.CompletionRate = sim.CompletionRate()
+	out.Fairness = sim.FairnessIndex()
+	out.Completions = sim.TotalCompletions()
+	return out, nil
+}
+
+// SimulateSCU measures an SCU(q, s) object with n processes under the
+// uniform stochastic scheduler for the given number of steps (plus a
+// 10% warmup).
+func SimulateSCU(n, q, s int, steps, seed uint64) (Latencies, error) {
+	procs, err := NewSCUProcesses(n, q, s)
+	if err != nil {
+		return Latencies{}, err
+	}
+	u, err := NewUniformScheduler(n, seed)
+	if err != nil {
+		return Latencies{}, err
+	}
+	sim, err := NewSim(SCUMemSize(s), procs, u)
+	if err != nil {
+		return Latencies{}, err
+	}
+	return measure(sim, steps)
+}
+
+// SimulateFetchInc measures the fetch-and-increment counter with n
+// processes under the uniform stochastic scheduler.
+func SimulateFetchInc(n int, steps, seed uint64) (Latencies, error) {
+	procs, err := NewFetchIncProcesses(n)
+	if err != nil {
+		return Latencies{}, err
+	}
+	u, err := NewUniformScheduler(n, seed)
+	if err != nil {
+		return Latencies{}, err
+	}
+	sim, err := NewSim(FetchIncMemSize, procs, u)
+	if err != nil {
+		return Latencies{}, err
+	}
+	return measure(sim, steps)
+}
+
+// ExactSCUSystemLatency returns the exact system latency W of
+// SCU(0, 1) with n processes, from the stationary distribution of the
+// Section 6.1.1 system chain. Theorem 5 bounds it by O(√n).
+func ExactSCUSystemLatency(n int) (float64, error) {
+	sys, _, err := chains.SCUSystem(n)
+	if err != nil {
+		return 0, err
+	}
+	return sys.SystemLatency()
+}
+
+// ExactFetchIncLatency returns the exact system latency W of the
+// fetch-and-increment counter with n processes (Lemma 12: W ≤ 2√n).
+func ExactFetchIncLatency(n int) (float64, error) {
+	glob, err := chains.FetchIncGlobal(n)
+	if err != nil {
+		return 0, err
+	}
+	return glob.SystemLatency()
+}
+
+// VerifySCULifting builds the individual and system chains of
+// SCU(0, 1) for n processes (n ≤ 8) and verifies that the former
+// lifts onto the latter (Lemma 5), returning the numerical report.
+func VerifySCULifting(n int) (*LiftingReport, error) {
+	ind, lift, err := chains.SCUIndividual(n)
+	if err != nil {
+		return nil, err
+	}
+	sys, _, err := chains.SCUSystem(n)
+	if err != nil {
+		return nil, err
+	}
+	return markov.VerifyLifting(ind.Chain, sys.Chain, lift)
+}
+
+// NewReplayScheduler drives a simulation with a pre-recorded schedule
+// trace — typically NativeSchedule.Order() — closing the loop between
+// the model and the real machine. loop controls wrap-around.
+func NewReplayScheduler(n int, trace []int32, loop bool) (*sched.Replay, error) {
+	return sched.NewReplay(n, trace, loop)
+}
+
+// NewPhasedScheduler builds a time-varying stochastic scheduler that
+// cycles through weighted phases (Definition 1 with Π depending on τ).
+func NewPhasedScheduler(n int, phases []sched.Phase, seed uint64) (*sched.Phased, error) {
+	return sched.NewPhased(n, phases, rng.New(seed))
+}
+
+// SchedulerPhase is one segment of a phased schedule.
+type SchedulerPhase = sched.Phase
+
+// SequentialObject is a deterministic sequential specification that
+// the universal constructions make concurrent.
+type SequentialObject = scu.Object
+
+// NewLockFreeObject wraps obj in the lock-free (SCU) universal
+// construction for n processes; the returned object occupies
+// LockFreeObjectMemSize registers at register 0.
+func NewLockFreeObject(obj SequentialObject, n int) (*scu.LFUniversal, error) {
+	return scu.NewLFUniversal(obj, n, 0)
+}
+
+// LockFreeObjectMemSize is the register footprint of the lock-free
+// universal construction.
+const LockFreeObjectMemSize = scu.LFUniversalLayout
+
+// NewWaitFreeObject wraps obj in the wait-free (announce + helping)
+// universal construction for n processes with poolSize node slots per
+// process. Call Init on the memory before simulating; the footprint
+// is WaitFreeObjectMemSize(n, poolSize).
+func NewWaitFreeObject(obj SequentialObject, n, poolSize int) (*scu.WFUniversal, error) {
+	return scu.NewWFUniversal(obj, n, poolSize, 0)
+}
+
+// WaitFreeObjectMemSize is the register footprint of the wait-free
+// universal construction.
+func WaitFreeObjectMemSize(n, poolSize int) int {
+	return scu.WFUniversalLayout(n, poolSize)
+}
+
+// RecordSchedule records a real-scheduler interleaving of the given
+// number of worker goroutines using atomic ticketing (Appendix A.2).
+func RecordSchedule(workers, opsPerWorker int) (*NativeSchedule, error) {
+	return native.RecordSchedule(workers, opsPerWorker)
+}
+
+// MeasureCounterRate measures the native CAS-loop counter's
+// completion rate (Figure 5) with the given workers.
+func MeasureCounterRate(workers, opsPerWorker int) (RateResult, error) {
+	return native.MeasureCASCounterRate(workers, opsPerWorker)
+}
