@@ -2,7 +2,9 @@
 // Sections 6 and 7 for a chosen algorithm and process count: it
 // prints the chain sizes, the stationary success rate, the system and
 // individual latencies, and verifies the lifting between the
-// individual and system chains.
+// individual and system chains. Analyses come from the sweep engine's
+// process-wide cache, so repeated invocations inside one process (and
+// any concurrent sweeps) share the construction work.
 //
 // Usage:
 //
@@ -20,6 +22,7 @@ import (
 
 	"pwf/internal/chains"
 	"pwf/internal/markov"
+	"pwf/internal/sweep"
 )
 
 func main() {
@@ -59,7 +62,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func analyzeSCU(out io.Writer, n int, full bool) error {
-	sys, states, err := chains.SCUSystem(n)
+	sys, err := sweep.DefaultCache.SCUSystem(n)
 	if err != nil {
 		return err
 	}
@@ -71,7 +74,7 @@ func analyzeSCU(out io.Writer, n int, full bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "SCU(0,1) system chain, n=%d: %d states\n", n, len(states))
+	fmt.Fprintf(out, "SCU(0,1) system chain, n=%d: %d states\n", n, sys.Chain.N())
 	fmt.Fprintf(out, "stationary success rate mu = %.6f\n", mu)
 	fmt.Fprintf(out, "system latency W = %.4f  (sqrt(n) = %.4f, W/sqrt(n) = %.4f)\n",
 		w, math.Sqrt(float64(n)), w/math.Sqrt(float64(n)))
@@ -80,7 +83,7 @@ func analyzeSCU(out io.Writer, n int, full bool) error {
 	if !full {
 		return nil
 	}
-	ind, lift, err := chains.SCUIndividual(n)
+	ind, lift, err := sweep.DefaultCache.SCUIndividual(n)
 	if err != nil {
 		fmt.Fprintf(out, "individual chain skipped: %v\n", err)
 		return nil
@@ -89,7 +92,7 @@ func analyzeSCU(out io.Writer, n int, full bool) error {
 }
 
 func analyzeFetchInc(out io.Writer, n int, full bool) error {
-	glob, err := chains.FetchIncGlobal(n)
+	glob, err := sweep.DefaultCache.FetchIncGlobal(n)
 	if err != nil {
 		return err
 	}
@@ -114,7 +117,7 @@ func analyzeFetchInc(out io.Writer, n int, full bool) error {
 	if !full {
 		return nil
 	}
-	ind, lift, err := chains.FetchIncIndividual(n)
+	ind, lift, err := sweep.DefaultCache.FetchIncIndividual(n)
 	if err != nil {
 		fmt.Fprintf(out, "individual chain skipped: %v\n", err)
 		return nil
@@ -123,7 +126,7 @@ func analyzeFetchInc(out io.Writer, n int, full bool) error {
 }
 
 func analyzeParallel(out io.Writer, n, q int, full bool) error {
-	sys, states, err := chains.ParallelSystem(n, q)
+	sys, err := sweep.DefaultCache.ParallelSystem(n, q)
 	if err != nil {
 		return err
 	}
@@ -131,13 +134,13 @@ func analyzeParallel(out io.Writer, n, q int, full bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "parallel code system chain, n=%d q=%d: %d states\n", n, q, len(states))
+	fmt.Fprintf(out, "parallel code system chain, n=%d q=%d: %d states\n", n, q, sys.Chain.N())
 	fmt.Fprintf(out, "system latency W = %.4f  (Lemma 11: exactly q = %d)\n", w, q)
 
 	if !full {
 		return nil
 	}
-	ind, lift, err := chains.ParallelIndividual(n, q)
+	ind, lift, err := sweep.DefaultCache.ParallelIndividual(n, q)
 	if err != nil {
 		fmt.Fprintf(out, "individual chain skipped: %v\n", err)
 		return nil

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	pwfrepro [-quick] [-seed N] [-only E3[,E7,...]]
+//	pwfrepro [-quick] [-seed N] [-only E3[,E7,...]] [-workers K]
+//
+// Simulation grids run on the pwf sweep engine; -workers bounds its
+// worker pool without changing any result.
 package main
 
 import (
@@ -28,9 +31,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pwfrepro", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "run reduced experiment sizes")
-		seed  = fs.Uint64("seed", 1, "seed for all simulation randomness")
-		only  = fs.String("only", "", "comma-separated experiment ids to run (e.g. E3,E7)")
+		quick   = fs.Bool("quick", false, "run reduced experiment sizes")
+		seed    = fs.Uint64("seed", 1, "seed for all simulation randomness")
+		only    = fs.String("only", "", "comma-separated experiment ids to run (e.g. E3,E7)")
+		workers = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +47,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	cfg := exp.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	ran := 0
 	for _, r := range exp.All() {
 		if len(want) > 0 && !want[r.ID] {

@@ -1,18 +1,24 @@
-// Command pwfsim runs one discrete-time simulation of a lock-free
+// Command pwfsim runs discrete-time simulations of a lock-free
 // algorithm under a chosen scheduler and reports latencies, the
-// completion rate, and fairness.
+// completion rate, and fairness. With a comma-separated -n list it
+// becomes a sweep: all points run in parallel on the pwf sweep engine
+// with deterministic per-job seeding, so results do not depend on the
+// worker count.
 //
 // Usage:
 //
 //	pwfsim -algo scu -n 16 -q 0 -s 1 -steps 1000000 -sched uniform
+//	pwfsim -algo fetchinc -n 1,2,4,8,16 -exact -json
 //
 // Algorithms: scu (Algorithm 2), parallel (Algorithm 4),
-// fetchinc (Algorithm 5), unbounded (Algorithm 1), stack, queue.
-// Schedulers: uniform, roundrobin, sticky:<rho>, lottery.
+// fetchinc (Algorithm 5), unbounded (Algorithm 1), stack, queue,
+// rcu, list, hashset, lfuniversal, wfuniversal.
+// Schedulers: uniform, roundrobin, sticky:<rho>, lottery,
+// adversary:<victim>.
 package main
 
 import (
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,11 +26,7 @@ import (
 	"strconv"
 	"strings"
 
-	"pwf/internal/machine"
-	"pwf/internal/rng"
-	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
+	"pwf"
 )
 
 func main() {
@@ -38,228 +40,108 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pwfsim", flag.ContinueOnError)
 	var (
 		algo      = fs.String("algo", "scu", "algorithm: scu, parallel, fetchinc, unbounded, stack, queue, rcu, list, hashset, lfuniversal, wfuniversal")
-		n         = fs.Int("n", 8, "number of processes")
+		ns        = fs.String("n", "8", "number of processes; a comma-separated list sweeps all of them")
 		q         = fs.Int("q", 0, "preamble length (scu/parallel)")
 		s         = fs.Int("s", 1, "scan length (scu)")
 		steps     = fs.Uint64("steps", 1000000, "system steps to simulate")
 		warmup    = fs.Uint64("warmup", 0, "warmup steps discarded before measuring (default steps/10)")
-		schedName = fs.String("sched", "uniform", "scheduler: uniform, roundrobin, sticky:<rho>, lottery")
-		seed      = fs.Uint64("seed", 1, "rng seed")
+		schedName = fs.String("sched", "uniform", "scheduler: uniform, roundrobin, sticky:<rho>, lottery, adversary:<victim>")
+		seed      = fs.Uint64("seed", 1, "master rng seed (per-job seeds are derived deterministically)")
 		crash     = fs.Int("crash", 0, "number of processes to crash before starting")
+		exact     = fs.Bool("exact", false, "also compute the exact-chain system latency where tractable")
+		asJSON    = fs.Bool("json", false, "emit one JSON object per job instead of the text report")
+		workers   = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *warmup == 0 {
-		*warmup = *steps / 10
-	}
 
-	scheduler, err := buildScheduler(*schedName, *n, *seed)
+	counts, err := parseNs(*ns)
 	if err != nil {
 		return err
 	}
-	if *crash > 0 {
-		crasher, ok := scheduler.(sched.Crasher)
-		if !ok {
-			return fmt.Errorf("scheduler %q does not support crashes", *schedName)
+	spec, err := pwf.ParseScheduler(*schedName)
+	if err != nil {
+		return err
+	}
+	warmupFraction := pwf.DefaultWarmupFraction
+	if *warmup > 0 {
+		if *steps == 0 || *warmup >= *steps {
+			return fmt.Errorf("warmup %d must be below steps %d", *warmup, *steps)
 		}
-		for pid := *n - *crash; pid < *n; pid++ {
-			if err := crasher.Crash(pid); err != nil {
-				return fmt.Errorf("crash process %d: %w", pid, err)
+		warmupFraction = float64(*warmup) / float64(*steps)
+	}
+
+	jobs := make([]pwf.SweepJob, len(counts))
+	for i, n := range counts {
+		jobs[i] = pwf.SweepJob{
+			Workload:       pwf.Workload{Kind: pwf.WorkloadKind(*algo), Q: *q, S: *s},
+			N:              n,
+			Sched:          spec,
+			Steps:          *steps,
+			WarmupFraction: warmupFraction,
+			Crash:          *crash,
+			Exact:          *exact,
+		}
+	}
+	results, err := pwf.RunSweep(pwf.SweepConfig{
+		Jobs:    jobs,
+		Seed:    *seed,
+		Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		for _, res := range results {
+			if err := enc.Encode(res); err != nil {
+				return err
 			}
 		}
+		return nil
 	}
-
-	mem, procs, err := buildAlgorithm(*algo, *n, *q, *s)
-	if err != nil {
-		return err
-	}
-	sim, err := machine.New(mem, procs, scheduler)
-	if err != nil {
-		return err
-	}
-	if err := sim.Run(*warmup); err != nil {
-		return err
-	}
-	sim.ResetMetrics()
-	if err := sim.Run(*steps); err != nil {
-		return err
-	}
-	return report(out, sim, *algo, *n)
-}
-
-func buildScheduler(name string, n int, seed uint64) (sched.Scheduler, error) {
-	switch {
-	case name == "uniform":
-		return sched.NewUniform(n, rng.New(seed))
-	case name == "roundrobin":
-		return sched.NewRoundRobin(n)
-	case name == "lottery":
-		tickets := make([]int, n)
-		for i := range tickets {
-			tickets[i] = 1
+	for i, res := range results {
+		if i > 0 {
+			fmt.Fprintln(out)
 		}
-		return sched.NewLottery(tickets, rng.New(seed))
-	case strings.HasPrefix(name, "sticky:"):
-		rho, err := strconv.ParseFloat(strings.TrimPrefix(name, "sticky:"), 64)
-		if err != nil {
-			return nil, fmt.Errorf("parse sticky rho: %w", err)
-		}
-		return sched.NewSticky(n, rho, rng.New(seed))
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
-	}
-}
-
-func buildAlgorithm(algo string, n, q, s int) (*shmem.Memory, []machine.Process, error) {
-	switch algo {
-	case "scu":
-		mem, err := shmem.New(scu.SCULayout(s))
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := scu.NewSCUGroup(n, q, s, 0)
-		return mem, procs, err
-	case "parallel":
-		if q < 1 {
-			return nil, nil, errors.New("parallel code needs -q >= 1")
-		}
-		mem, err := shmem.New(1)
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := scu.NewParallelGroup(n, q, 0)
-		return mem, procs, err
-	case "fetchinc":
-		mem, err := shmem.New(scu.FetchIncLayout)
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := scu.NewFetchIncGroup(n, 0)
-		return mem, procs, err
-	case "unbounded":
-		mem, err := shmem.New(scu.UnboundedLayout)
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := scu.NewUnboundedGroup(n, 0, 0)
-		return mem, procs, err
-	case "stack":
-		const poolSize = 64
-		st, err := scu.NewStack(n, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.StackLayout(n, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := st.Processes()
-		return mem, procs, err
-	case "queue":
-		const poolSize = 64
-		qu, err := scu.NewQueue(n, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.QueueLayout(n, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		qu.Init(mem)
-		procs, err := qu.Processes()
-		return mem, procs, err
-	case "rcu":
-		const poolSize = 64
-		readers := n - 1 - (n-1)/4 // read-mostly: ~3/4 readers
-		r, err := scu.NewRCU(n, readers, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.RCULayout(n-readers, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := r.Processes()
-		return mem, procs, err
-	case "list":
-		const (
-			poolSize = 64
-			keyspace = 32
-		)
-		l, err := scu.NewList(n, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.ListLayout(n, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		l.Init(mem)
-		procs, err := l.Processes(keyspace)
-		return mem, procs, err
-	case "hashset":
-		const (
-			buckets  = 8
-			poolSize = 32
-			keyspace = 64
-		)
-		h, err := scu.NewHashSet(n, buckets, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.HashSetLayout(n, buckets, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		h.Init(mem)
-		procs, err := h.Processes(keyspace)
-		return mem, procs, err
-	case "lfuniversal":
-		u, err := scu.NewLFUniversal(scu.CounterObject{}, n, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.LFUniversalLayout)
-		if err != nil {
-			return nil, nil, err
-		}
-		procs, err := u.Processes(func(pid int, seq int64) int64 { return 1 })
-		return mem, procs, err
-	case "wfuniversal":
-		const poolSize = 8
-		u, err := scu.NewWFUniversal(scu.CounterObject{}, n, poolSize, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		mem, err := shmem.New(scu.WFUniversalLayout(n, poolSize))
-		if err != nil {
-			return nil, nil, err
-		}
-		u.Init(mem)
-		procs, err := u.Processes(func(pid int, seq int64) int64 { return 1 })
-		return mem, procs, err
-	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
-}
-
-func report(out io.Writer, sim *machine.Sim, algo string, n int) error {
-	fmt.Fprintf(out, "algorithm=%s n=%d steps=%d completions=%d\n",
-		algo, n, sim.Steps(), sim.TotalCompletions())
-	if w, err := sim.SystemLatency(); err == nil {
-		fmt.Fprintf(out, "system latency (steps/op):      %.4f\n", w)
-	}
-	if wi, err := sim.MeanIndividualLatency(); err == nil {
-		fmt.Fprintf(out, "mean individual latency:        %.4f\n", wi)
-		if w, err := sim.SystemLatency(); err == nil && w > 0 {
-			fmt.Fprintf(out, "W_i / (n*W):                    %.4f\n", wi/(float64(n)*w))
-		}
-	}
-	fmt.Fprintf(out, "completion rate (ops/step):     %.6f\n", sim.CompletionRate())
-	fmt.Fprintf(out, "fairness index (Jain):          %.4f\n", sim.FairnessIndex())
-	if starved := sim.StarvedProcesses(); len(starved) > 0 {
-		fmt.Fprintf(out, "starved processes:              %v\n", starved)
+		report(out, res)
 	}
 	return nil
+}
+
+// parseNs parses the -n flag: one process count or a comma-separated
+// sweep list.
+func parseNs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parse -n %q: %w", s, err)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+func report(out io.Writer, res pwf.SweepResult) {
+	job, lat := res.Job, res.Latencies
+	fmt.Fprintf(out, "algorithm=%s n=%d sched=%s steps=%d completions=%d\n",
+		job.Workload.Kind, job.N, job.Sched, job.Steps, lat.Completions)
+	fmt.Fprintf(out, "system latency (steps/op):      %.4f\n", lat.System)
+	if res.ExactOK {
+		fmt.Fprintf(out, "exact chain latency:            %.4f\n", res.Exact)
+	}
+	fmt.Fprintf(out, "mean individual latency:        %.4f\n", lat.Individual)
+	if lat.System > 0 {
+		fmt.Fprintf(out, "W_i / (n*W):                    %.4f\n",
+			lat.Individual/(float64(job.N)*lat.System))
+	}
+	fmt.Fprintf(out, "completion rate (ops/step):     %.6f\n", lat.CompletionRate)
+	fmt.Fprintf(out, "fairness index (Jain):          %.4f\n", lat.Fairness)
+	if len(res.Starved) > 0 {
+		fmt.Fprintf(out, "starved processes:              %v\n", res.Starved)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,90 @@ func TestRunWithCrashes(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-n", "8", "-crash", "4", "-steps", "20000"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSweepMultipleN(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "fetchinc", "-n", "2,4,8", "-steps", "20000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"n=2", "n=4", "n=8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONEmitsOneObjectPerJob(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-algo", "scu", "-n", "2,4", "-steps", "20000", "-exact", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSON lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var obj struct {
+			Index int `json:"index"`
+			Job   struct {
+				N     int    `json:"n"`
+				Steps uint64 `json:"steps"`
+			} `json:"job"`
+			Latencies struct {
+				System      float64 `json:"system"`
+				Completions uint64  `json:"completions"`
+			} `json:"latencies"`
+			Exact   float64 `json:"exact"`
+			ExactOK bool    `json:"exact_ok"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, line)
+		}
+		if obj.Index != i {
+			t.Errorf("line %d has index %d", i, obj.Index)
+		}
+		if obj.Job.Steps != 20000 || obj.Latencies.Completions == 0 ||
+			obj.Latencies.System <= 0 {
+			t.Errorf("line %d has implausible fields: %+v", i, obj)
+		}
+		if !obj.ExactOK || obj.Exact <= 0 {
+			t.Errorf("line %d missing exact latency: %+v", i, obj)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	out := func(workers string) string {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-algo", "scu", "-n", "2,4,8", "-steps", "20000",
+			"-seed", "7", "-workers", workers,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, parallel := out("1"), out("8"); serial != parallel {
+		t.Errorf("output differs between -workers 1 and 8:\n%s\n---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestRunWarmupFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "5000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "20000"}, &buf); err == nil {
+		t.Error("warmup >= steps accepted")
 	}
 }
 

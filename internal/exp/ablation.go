@@ -1,11 +1,7 @@
 package exp
 
 import (
-	"pwf/internal/machine"
-	"pwf/internal/rng"
-	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
+	"pwf/internal/sweep"
 )
 
 // SchedulerAblation is the E13 design-choice ablation from DESIGN.md:
@@ -14,41 +10,45 @@ import (
 // deterministic round-robin baseline, and a process-singling
 // adversary. The stochastic schedulers all yield fair, wait-free-like
 // behaviour with √n-scaling latency; the adversary does not — the
-// point of the paper's model.
+// point of the paper's model. All six cases run concurrently on the
+// sweep engine.
 func SchedulerAblation(cfg Config) (*Table, error) {
 	n := cfg.num(16, 8)
 	window := cfg.steps(2000000, 200000)
 
-	type schedCase struct {
-		name  string
-		build func() (sched.Scheduler, error)
+	tickets := make([]int, n)
+	for i := range tickets {
+		tickets[i] = 1
 	}
-	cases := []schedCase{
-		{"uniform", func() (sched.Scheduler, error) {
-			return sched.NewUniform(n, rng.New(cfg.Seed))
-		}},
-		{"lottery 2:1 tickets", func() (sched.Scheduler, error) {
-			tickets := make([]int, n)
-			for i := range tickets {
-				tickets[i] = 1
-			}
-			for i := 0; i < n/2; i++ {
-				tickets[i] = 2
-			}
-			return sched.NewLottery(tickets, rng.New(cfg.Seed+1))
-		}},
-		{"sticky rho=0.5", func() (sched.Scheduler, error) {
-			return sched.NewSticky(n, 0.5, rng.New(cfg.Seed+2))
-		}},
-		{"sticky rho=0.95", func() (sched.Scheduler, error) {
-			return sched.NewSticky(n, 0.95, rng.New(cfg.Seed+3))
-		}},
-		{"round-robin", func() (sched.Scheduler, error) {
-			return sched.NewRoundRobin(n)
-		}},
-		{"adversary: single out p0", func() (sched.Scheduler, error) {
-			return sched.NewAdversarial(n, sched.SingleOut(0))
-		}},
+	for i := 0; i < n/2; i++ {
+		tickets[i] = 2
+	}
+	specs := []struct {
+		name string
+		spec sweep.SchedulerSpec
+	}{
+		{"uniform", sweep.SchedulerSpec{Kind: sweep.SchedUniform}},
+		{"lottery 2:1 tickets", sweep.SchedulerSpec{Kind: sweep.SchedLottery, Tickets: tickets}},
+		{"sticky rho=0.5", sweep.SchedulerSpec{Kind: sweep.SchedSticky, Rho: 0.5}},
+		{"sticky rho=0.95", sweep.SchedulerSpec{Kind: sweep.SchedSticky, Rho: 0.95}},
+		{"round-robin", sweep.SchedulerSpec{Kind: sweep.SchedRoundRobin}},
+		{"adversary: single out p0", sweep.SchedulerSpec{Kind: sweep.SchedAdversary, Victim: 0}},
+	}
+
+	jobs := make([]sweep.Job, len(specs))
+	for i, tc := range specs {
+		jobs[i] = sweep.Job{
+			Workload:       sweep.Workload{Kind: sweep.SCU, S: 1},
+			N:              n,
+			Sched:          tc.spec,
+			Steps:          window,
+			WarmupFraction: sweep.DefaultWarmupFraction,
+			Label:          tc.name,
+		}
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
 	}
 
 	t := &Table{
@@ -58,35 +58,9 @@ func SchedulerAblation(cfg Config) (*Table, error) {
 			"scheduler", "theta", "W sim", "fairness index", "starved",
 		},
 	}
-	for _, tc := range cases {
-		s, err := tc.build()
-		if err != nil {
-			return nil, err
-		}
-		mem, err := shmem.New(scu.SCULayout(1))
-		if err != nil {
-			return nil, err
-		}
-		procs, err := scu.NewSCUGroup(n, 0, 1, 0)
-		if err != nil {
-			return nil, err
-		}
-		sim, err := machine.New(mem, procs, s)
-		if err != nil {
-			return nil, err
-		}
-		if err := sim.Run(window / 10); err != nil {
-			return nil, err
-		}
-		sim.ResetMetrics()
-		if err := sim.Run(window); err != nil {
-			return nil, err
-		}
-		w, err := sim.SystemLatency()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(tc.name, s.Threshold(), w, sim.FairnessIndex(), len(sim.StarvedProcesses()))
+	for _, r := range results {
+		t.AddRow(r.Label, r.Theta, r.Latencies.System, r.Latencies.Fairness,
+			len(r.Starved))
 	}
 	t.Note = "every theta > 0 scheduler keeps all processes progressing; stickiness even " +
 		"LOWERS latency (consecutive steps finish an operation solo) while preserving fairness; " +

@@ -1,15 +1,9 @@
 package exp
 
 import (
-	"fmt"
-
-	"pwf/internal/machine"
 	"pwf/internal/native"
 	"pwf/internal/progress"
-	"pwf/internal/rng"
-	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
+	"pwf/internal/sweep"
 )
 
 // OpLatencyDistribution (E16) reproduces the practitioner's view the
@@ -73,44 +67,27 @@ func OpLatencyDistribution(cfg Config) (*Table, error) {
 		return nil, err
 	}
 
-	// Simulated Treiber stack: per-process completion gaps.
-	const poolSize = 32
-	st, err := scu.NewStack(workers, poolSize, 0)
-	if err != nil {
-		return nil, err
-	}
-	mem, err := shmem.New(scu.StackLayout(workers, poolSize))
-	if err != nil {
-		return nil, err
-	}
-	procs, err := st.Processes()
-	if err != nil {
-		return nil, err
-	}
-	u, err := sched.NewUniform(workers, rng.New(cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
-	sim, err := machine.New(mem, procs, u)
-	if err != nil {
-		return nil, err
-	}
+	// Simulated Treiber stack: per-process completion gaps, observed
+	// through the sweep engine's completion hook (no warmup — every
+	// completion feeds the distribution). The engine checks the
+	// stack's linearizability witnesses after the run.
 	var collector progress.Collector
-	sim.SetCompletionHook(collector.Observe)
-	if err := sim.Run(simSteps); err != nil {
+	results, err := cfg.runSweep([]sweep.Job{{
+		Workload:       sweep.Workload{Kind: sweep.Stack, PoolSize: 32},
+		N:              workers,
+		Steps:          simSteps,
+		CompletionHook: collector.Observe,
+	}})
+	if err != nil {
 		return nil, err
 	}
-	if st.Violations() != 0 || st.Err() != nil {
-		return nil, fmt.Errorf("simulated stack misbehaved: %d violations, %v",
-			st.Violations(), st.Err())
-	}
-	trace, err := collector.Trace(workers, sim.Steps())
+	trace, err := collector.Trace(workers, simSteps)
 	if err != nil {
 		return nil, err
 	}
 	var row []any
 	row = append(row, "simulated stack (system steps/gap)")
-	mean := float64(sim.Steps()) / float64(sim.TotalCompletions()) * float64(workers)
+	mean := float64(simSteps) / float64(results[0].Latencies.Completions) * float64(workers)
 	row = append(row, mean)
 	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
 		g, err := trace.GapQuantile(q)

@@ -28,6 +28,7 @@ import (
 	"pwf/internal/sched"
 	"pwf/internal/scu"
 	"pwf/internal/shmem"
+	"pwf/internal/sweep"
 )
 
 // Config controls experiment sizes.
@@ -36,6 +37,17 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks the experiments for tests and smoke runs.
 	Quick bool
+	// Workers bounds the sweep engine's worker pool; 0 selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// runSweep executes a job grid on the parallel sweep engine with this
+// configuration's seed and worker bound. Exact-chain requests share
+// the process-wide cache, so chains reappearing across experiments are
+// built once.
+func (c Config) runSweep(jobs []sweep.Job) ([]sweep.Result, error) {
+	return sweep.Run(sweep.Config{Jobs: jobs, Seed: c.Seed, Workers: c.Workers})
 }
 
 // steps returns full when Quick is off, otherwise quick.

@@ -5,18 +5,16 @@ import (
 	"math"
 
 	"pwf/internal/chains"
-	"pwf/internal/machine"
-	"pwf/internal/rng"
-	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
+	"pwf/internal/sweep"
 )
 
 // FetchIncAnalysis reproduces the Section 7 analysis of the
 // augmented-CAS fetch-and-increment counter: the exact return time W
 // of the winning state against the Lemma 12 bound 2√n, the hitting
 // time Z(n−1), Ramanujan's Q(n) with its √(πn/2) asymptote, and the
-// simulated system latency for cross-validation.
+// simulated system latency for cross-validation. The simulations run
+// in parallel on the sweep engine; each row's exact chain value comes
+// from the shared cache.
 func FetchIncAnalysis(cfg Config) (*Table, error) {
 	var ns []int
 	if cfg.Quick {
@@ -26,6 +24,21 @@ func FetchIncAnalysis(cfg Config) (*Table, error) {
 	}
 	window := cfg.steps(2000000, 150000)
 
+	jobs := make([]sweep.Job, len(ns))
+	for i, n := range ns {
+		jobs[i] = sweep.Job{
+			Workload:       sweep.Workload{Kind: sweep.FetchInc},
+			N:              n,
+			Steps:          window,
+			WarmupFraction: sweep.DefaultWarmupFraction,
+			Exact:          true,
+		}
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "E7",
 		Title: "Lemma 12 / Corollary 3: fetch-and-increment counter",
@@ -34,40 +47,14 @@ func FetchIncAnalysis(cfg Config) (*Table, error) {
 		},
 	}
 	worstRel := 0.0
-	for _, n := range ns {
-		glob, err := chains.FetchIncGlobal(n)
-		if err != nil {
-			return nil, err
+	for i, n := range ns {
+		if !results[i].ExactOK {
+			return nil, fmt.Errorf("exp: fetch-and-inc chain n=%d intractable", n)
 		}
-		w, err := glob.SystemLatency()
-		if err != nil {
-			return nil, err
-		}
-
-		mem, err := shmem.New(scu.FetchIncLayout)
-		if err != nil {
-			return nil, err
-		}
-		procs, err := scu.NewFetchIncGroup(n, 0)
-		if err != nil {
-			return nil, err
-		}
-		u, err := sched.NewUniform(n, rng.New(cfg.Seed+uint64(n)))
-		if err != nil {
-			return nil, err
-		}
-		sim, err := machine.New(mem, procs, u)
-		if err != nil {
-			return nil, err
-		}
-		wSim, _, err := measureLatencies(sim, window/10, window)
-		if err != nil {
-			return nil, err
-		}
+		w, wSim := results[i].Exact, results[i].Latencies.System
 		if rel := math.Abs(wSim-w) / w; rel > worstRel {
 			worstRel = rel
 		}
-
 		q, err := chains.RamanujanQ(n)
 		if err != nil {
 			return nil, err

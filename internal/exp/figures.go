@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"math"
 
-	"pwf/internal/machine"
 	"pwf/internal/native"
 	"pwf/internal/rng"
 	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
 	"pwf/internal/stats"
+	"pwf/internal/sweep"
 )
 
 // Fig3StepShares reproduces Figure 3: the fraction of steps each
@@ -132,43 +130,36 @@ func Fig5CompletionRate(cfg Config) (*Table, error) {
 		},
 	}
 
-	var (
-		simRates    []float64
-		nativeRates []float64
-	)
-	for _, n := range ns {
-		// Simulated counter under the uniform stochastic scheduler.
-		mem, err := shmem.New(scu.FetchIncLayout)
-		if err != nil {
-			return nil, err
+	// Simulated counters under the uniform stochastic scheduler: the
+	// whole n-grid runs in parallel on the sweep engine.
+	jobs := make([]sweep.Job, len(ns))
+	for i, n := range ns {
+		jobs[i] = sweep.Job{
+			Workload:       sweep.Workload{Kind: sweep.FetchInc},
+			N:              n,
+			Steps:          simSteps,
+			WarmupFraction: sweep.DefaultWarmupFraction,
 		}
-		procs, err := scu.NewFetchIncGroup(n, 0)
-		if err != nil {
-			return nil, err
-		}
-		u, err := sched.NewUniform(n, rng.New(cfg.Seed+uint64(n)))
-		if err != nil {
-			return nil, err
-		}
-		sim, err := machine.New(mem, procs, u)
-		if err != nil {
-			return nil, err
-		}
-		if err := sim.Run(simSteps / 10); err != nil {
-			return nil, err
-		}
-		sim.ResetMetrics()
-		if err := sim.Run(simSteps); err != nil {
-			return nil, err
-		}
-		simRates = append(simRates, sim.CompletionRate())
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	simRates := make([]float64, len(ns))
+	for i, r := range results {
+		simRates[i] = r.Latencies.CompletionRate
+	}
 
-		// Native counter on the real scheduler.
+	// Native counters on the real scheduler, serially: these measure
+	// actual goroutine contention and must not share the machine with
+	// other timing-sensitive work.
+	nativeRates := make([]float64, len(ns))
+	for i, n := range ns {
 		res, err := native.MeasureCASCounterRate(n, nativeOps)
 		if err != nil {
 			return nil, err
 		}
-		nativeRates = append(nativeRates, res.Rate())
+		nativeRates[i] = res.Rate()
 	}
 
 	// Scale predictions to the first data point, as the paper does.

@@ -5,19 +5,29 @@ import (
 	"math"
 
 	"pwf/internal/chains"
-	"pwf/internal/machine"
-	"pwf/internal/rng"
-	"pwf/internal/sched"
-	"pwf/internal/scu"
-	"pwf/internal/shmem"
 	"pwf/internal/stats"
+	"pwf/internal/sweep"
 )
+
+// scuJob builds one SCU(q, s) sweep job under the uniform stochastic
+// scheduler with the conventional warmup.
+func scuJob(n, q, s int, window uint64, exact bool) sweep.Job {
+	return sweep.Job{
+		Workload:       sweep.Workload{Kind: sweep.SCU, Q: q, S: s},
+		N:              n,
+		Steps:          window,
+		WarmupFraction: sweep.DefaultWarmupFraction,
+		Exact:          exact,
+	}
+}
 
 // SystemLatencySweep reproduces the Theorem 5 / Corollary 1 claim:
 // the system latency of SCU(q, s) under the uniform stochastic
 // scheduler behaves as O(q + s·√n). It sweeps n for several (q, s)
 // and reports the measured latency, the exact chain value (for
-// SCU(0,1)), and the fitted √n exponent.
+// SCU(0,1)), and the fitted √n exponent. The whole grid runs on the
+// parallel sweep engine; the exact values ride along via the chain
+// cache.
 func SystemLatencySweep(cfg Config) (*Table, error) {
 	var ns []int
 	if cfg.Quick {
@@ -26,6 +36,28 @@ func SystemLatencySweep(cfg Config) (*Table, error) {
 		ns = []int{2, 4, 8, 16, 32, 64}
 	}
 	window := cfg.steps(2000000, 150000)
+
+	// Three (q, s) configurations per n, plus the large-n SCU(0,1)
+	// rows whose exact values come from the sparse solver instead.
+	var largeNs []int
+	if !cfg.Quick {
+		largeNs = []int{128, 256}
+	}
+	var jobs []sweep.Job
+	for _, n := range ns {
+		jobs = append(jobs,
+			scuJob(n, 0, 1, window, true),
+			scuJob(n, 0, 3, window, true),
+			scuJob(n, 4, 1, window, true),
+		)
+	}
+	for _, n := range largeNs {
+		jobs = append(jobs, scuJob(n, 0, 1, window, false))
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "E4",
@@ -37,79 +69,29 @@ func SystemLatencySweep(cfg Config) (*Table, error) {
 	}
 
 	var xs, ys []float64
-	for _, n := range ns {
-		row := make([]any, 0, 6)
-		row = append(row, n)
-
-		// SCU(0,1) simulated.
-		sim, err := scuSim(n, 0, 1, cfg.Seed+uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		w01, _, err := measureLatencies(sim, window/10, window)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, w01)
+	for i, n := range ns {
+		r01, r03, r41 := results[3*i], results[3*i+1], results[3*i+2]
 		xs = append(xs, float64(n))
-		ys = append(ys, w01)
-
-		// SCU(0,1) exact.
-		sys, _, err := chains.SCUSystem(n)
-		if err != nil {
-			return nil, err
-		}
-		exact, err := sys.SystemLatency()
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, exact)
-
-		// SCU(0,3) simulated + exact (exact only while the state space
-		// of the (q, s) chain stays tractable).
-		sim3, err := scuSim(n, 0, 3, cfg.Seed+uint64(2*n))
-		if err != nil {
-			return nil, err
-		}
-		w03, _, err := measureLatencies(sim3, window/10, window)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, w03, exactQSOrDash(n, 0, 3))
-
-		// SCU(4,1) simulated + exact.
-		sim41, err := scuSim(n, 4, 1, cfg.Seed+uint64(3*n))
-		if err != nil {
-			return nil, err
-		}
-		w41, _, err := measureLatencies(sim41, window/10, window)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, w41, exactQSOrDash(n, 4, 1), 1*math.Sqrt(float64(n)))
-		t.AddRow(row...)
+		ys = append(ys, r01.Latencies.System)
+		t.AddRow(n,
+			r01.Latencies.System, exactOrDash(r01),
+			r03.Latencies.System, exactOrDash(r03),
+			r41.Latencies.System, exactOrDash(r41),
+			1*math.Sqrt(float64(n)))
 	}
 
 	// Large-n rows: the sparse lazy iteration gives exact SCU(0,1)
 	// values beyond the dense solver's reach.
-	if !cfg.Quick {
-		for _, n := range []int{128, 256} {
-			sim, err := scuSim(n, 0, 1, cfg.Seed+uint64(n))
-			if err != nil {
-				return nil, err
-			}
-			w01, _, err := measureLatencies(sim, window/10, window)
-			if err != nil {
-				return nil, err
-			}
-			exact, err := chains.SCUSystemLatencyLarge(n, 1e-10, 5000000)
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, float64(n))
-			ys = append(ys, w01)
-			t.AddRow(n, w01, exact, "-", "-", "-", "-", 1*math.Sqrt(float64(n)))
+	for i, n := range largeNs {
+		r := results[3*len(ns)+i]
+		exact, err := chains.SCUSystemLatencyLarge(n, 1e-10, 5000000)
+		if err != nil {
+			return nil, err
 		}
+		xs = append(xs, float64(n))
+		ys = append(ys, r.Latencies.System)
+		t.AddRow(n, r.Latencies.System, exact, "-", "-", "-", "-",
+			1*math.Sqrt(float64(n)))
 	}
 
 	if _, p, r2, err := stats.PowerFit(xs, ys); err == nil {
@@ -122,18 +104,13 @@ func SystemLatencySweep(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// exactQSOrDash returns the exact SCU(q, s) latency as a cell value,
-// or "-" when the chain is too large to solve.
-func exactQSOrDash(n, q, s int) any {
-	a, err := chains.SCUSystemQS(n, q, s)
-	if err != nil {
+// exactOrDash returns the result's exact-chain latency as a cell
+// value, or "-" when the chain was intractable.
+func exactOrDash(r sweep.Result) any {
+	if !r.ExactOK {
 		return "-"
 	}
-	w, err := a.SystemLatency()
-	if err != nil {
-		return "-"
-	}
-	return w
+	return r.Exact
 }
 
 // IndividualLatencyFairness reproduces the Theorem 4 fairness claim:
@@ -149,6 +126,15 @@ func IndividualLatencyFairness(cfg Config) (*Table, error) {
 	}
 	window := cfg.steps(2000000, 200000)
 
+	jobs := make([]sweep.Job, len(ns))
+	for i, n := range ns {
+		jobs[i] = scuJob(n, 0, 1, window, false)
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "E5",
 		Title: "Theorem 4: individual latency = n × system latency",
@@ -157,20 +143,13 @@ func IndividualLatencyFairness(cfg Config) (*Table, error) {
 		},
 	}
 	worst := 0.0
-	for _, n := range ns {
-		sim, err := scuSim(n, 0, 1, cfg.Seed+uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		w, wi, err := measureLatencies(sim, window/10, window)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ns {
+		w, wi := results[i].Latencies.System, results[i].Latencies.Individual
 		ratio := wi / (float64(n) * w)
 		if d := math.Abs(ratio - 1); d > worst {
 			worst = d
 		}
-		comps := sim.Completions()
+		comps := results[i].ProcCompletions
 		minC, maxC := comps[0], comps[0]
 		for _, c := range comps {
 			if c < minC {
@@ -204,6 +183,21 @@ func ParallelCode(cfg Config) (*Table, error) {
 		cases = append(cases, struct{ n, q int }{4, 4}, struct{ n, q int }{6, 3})
 	}
 
+	jobs := make([]sweep.Job, len(cases))
+	for i, tc := range cases {
+		jobs[i] = sweep.Job{
+			Workload:       sweep.Workload{Kind: sweep.Parallel, Q: tc.q},
+			N:              tc.n,
+			Steps:          window,
+			WarmupFraction: sweep.DefaultWarmupFraction,
+			Exact:          true,
+		}
+	}
+	results, err := cfg.runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "E6",
 		Title: "Lemma 11: parallel code latencies (W = q, W_i = n·q)",
@@ -211,16 +205,11 @@ func ParallelCode(cfg Config) (*Table, error) {
 			"n", "q", "W exact", "W sim", "W_i exact", "W_i sim",
 		},
 	}
-	for _, tc := range cases {
-		sys, _, err := chains.ParallelSystem(tc.n, tc.q)
-		if err != nil {
-			return nil, err
+	for i, tc := range cases {
+		if !results[i].ExactOK {
+			return nil, fmt.Errorf("exp: parallel chain n=%d q=%d intractable", tc.n, tc.q)
 		}
-		wExact, err := sys.SystemLatency()
-		if err != nil {
-			return nil, err
-		}
-		ind, _, err := chains.ParallelIndividual(tc.n, tc.q)
+		ind, _, err := sweep.DefaultCache.ParallelIndividual(tc.n, tc.q)
 		if err != nil {
 			return nil, err
 		}
@@ -228,28 +217,8 @@ func ParallelCode(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-
-		mem, err := shmem.New(1)
-		if err != nil {
-			return nil, err
-		}
-		procs, err := scu.NewParallelGroup(tc.n, tc.q, 0)
-		if err != nil {
-			return nil, err
-		}
-		u, err := sched.NewUniform(tc.n, rng.New(cfg.Seed+uint64(tc.n*10+tc.q)))
-		if err != nil {
-			return nil, err
-		}
-		sim, err := machine.New(mem, procs, u)
-		if err != nil {
-			return nil, err
-		}
-		wSim, wiSim, err := measureLatencies(sim, window/10, window)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(tc.n, tc.q, wExact, wSim, wiExact, wiSim)
+		t.AddRow(tc.n, tc.q, results[i].Exact, results[i].Latencies.System,
+			wiExact, results[i].Latencies.Individual)
 	}
 	t.Note = "exact values are q and n·q to solver precision; simulated values converge to them"
 	return t, nil

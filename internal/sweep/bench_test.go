@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// scu16Grid is the acceptance-criterion grid: a 16-job SCU sweep.
+func scu16Grid() []Job {
+	var jobs []Job
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, s := range []int{1, 2} {
+			for _, q := range []int{0, 2} {
+				jobs = append(jobs, Job{
+					Workload:       Workload{Kind: SCU, Q: q, S: s},
+					N:              n,
+					Steps:          200000,
+					WarmupFraction: DefaultWarmupFraction,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+func benchSweep(b *testing.B, workers int) {
+	jobs := scu16Grid()
+	b.ReportMetric(float64(len(jobs)), "jobs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Jobs: jobs, Seed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSCU16Serial is the serial baseline for the 16-job SCU
+// grid; BenchmarkSweepSCU16Parallel must beat it on >= 4 cores.
+func BenchmarkSweepSCU16Serial(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweepSCU16Parallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pwf/internal/chains"
+)
+
+// ChainCache memoizes the expensive exact-chain constructions of
+// internal/chains. The figure drivers pair every simulated point with
+// its exact value, and several drivers request the same chain for the
+// same n — without the cache each request rebuilds (and re-solves) a
+// state space that grows exponentially in n.
+//
+// The cache is safe for concurrent use. Each key is built exactly once
+// (concurrent requesters for a missing key block until the single
+// build completes), and the stationary distribution is solved eagerly
+// inside the build so that the returned *chains.Analysis is read-only
+// afterwards and can be shared across goroutines.
+type ChainCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	once     sync.Once
+	analysis *chains.Analysis
+	lift     []int
+	err      error
+}
+
+// NewChainCache returns an empty cache.
+func NewChainCache() *ChainCache {
+	return &ChainCache{entries: make(map[string]*cacheEntry)}
+}
+
+// DefaultCache is the process-wide shared cache used when a Config
+// does not provide its own. Sharing it across sweeps, drivers and
+// CLIs means a chain built for one figure is reused by the next.
+var DefaultCache = NewChainCache()
+
+// get returns the entry for key, building it at most once.
+func (c *ChainCache) get(key string, build func() (*chains.Analysis, []int, error)) (*chains.Analysis, []int, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.analysis, e.lift, e.err = build()
+		if e.err == nil {
+			// Solve the stationary distribution now: Analysis caches it
+			// lazily on first use, which would race if deferred to
+			// concurrent readers.
+			if _, err := e.analysis.Stationary(); err != nil {
+				e.analysis, e.err = nil, err
+			}
+		}
+	})
+	return e.analysis, e.lift, e.err
+}
+
+// Hits returns the number of lookups served from the cache.
+func (c *ChainCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of lookups that had to build the chain.
+func (c *ChainCache) Misses() uint64 { return c.misses.Load() }
+
+// SCUSystem returns the cached SCU(0,1) system chain analysis for n
+// processes (Section 6.1.1).
+func (c *ChainCache) SCUSystem(n int) (*chains.Analysis, error) {
+	a, _, err := c.get(fmt.Sprintf("scu-sys-%d", n), func() (*chains.Analysis, []int, error) {
+		a, _, err := chains.SCUSystem(n)
+		return a, nil, err
+	})
+	return a, err
+}
+
+// SCUSystemQS returns the cached general SCU(q, s) system chain
+// analysis, which is tractable only for small n.
+func (c *ChainCache) SCUSystemQS(n, q, s int) (*chains.Analysis, error) {
+	a, _, err := c.get(fmt.Sprintf("scu-qs-%d-%d-%d", n, q, s), func() (*chains.Analysis, []int, error) {
+		a, err := chains.SCUSystemQS(n, q, s)
+		return a, nil, err
+	})
+	return a, err
+}
+
+// SCUIndividual returns the cached SCU(0,1) individual chain and its
+// lifting map onto the system chain.
+func (c *ChainCache) SCUIndividual(n int) (*chains.Analysis, []int, error) {
+	return c.get(fmt.Sprintf("scu-ind-%d", n), func() (*chains.Analysis, []int, error) {
+		return chains.SCUIndividual(n)
+	})
+}
+
+// FetchIncGlobal returns the cached fetch-and-increment global chain
+// analysis (Section 7.1).
+func (c *ChainCache) FetchIncGlobal(n int) (*chains.Analysis, error) {
+	a, _, err := c.get(fmt.Sprintf("fi-glob-%d", n), func() (*chains.Analysis, []int, error) {
+		a, err := chains.FetchIncGlobal(n)
+		return a, nil, err
+	})
+	return a, err
+}
+
+// FetchIncIndividual returns the cached fetch-and-increment individual
+// chain and its lifting map.
+func (c *ChainCache) FetchIncIndividual(n int) (*chains.Analysis, []int, error) {
+	return c.get(fmt.Sprintf("fi-ind-%d", n), func() (*chains.Analysis, []int, error) {
+		return chains.FetchIncIndividual(n)
+	})
+}
+
+// ParallelSystem returns the cached parallel-code system chain
+// analysis (Section 6.2).
+func (c *ChainCache) ParallelSystem(n, q int) (*chains.Analysis, error) {
+	a, _, err := c.get(fmt.Sprintf("par-sys-%d-%d", n, q), func() (*chains.Analysis, []int, error) {
+		a, _, err := chains.ParallelSystem(n, q)
+		return a, nil, err
+	})
+	return a, err
+}
+
+// ParallelIndividual returns the cached parallel-code individual chain
+// and its lifting map.
+func (c *ChainCache) ParallelIndividual(n, q int) (*chains.Analysis, []int, error) {
+	return c.get(fmt.Sprintf("par-ind-%d-%d", n, q), func() (*chains.Analysis, []int, error) {
+		return chains.ParallelIndividual(n, q)
+	})
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestChainCacheHitsOnSecondBuild(t *testing.T) {
+	c := NewChainCache()
+	a1, err := c.SCUSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 1 {
+		t.Fatalf("after first build: hits=%d misses=%d, want 0/1", h, m)
+	}
+	a2, err := c.SCUSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Fatalf("after second build: hits=%d misses=%d, want 1/1", h, m)
+	}
+	if a1 != a2 {
+		t.Error("cache returned distinct analyses for the same key")
+	}
+	// A different n is a different key.
+	if _, err := c.SCUSystem(3); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 2 {
+		t.Fatalf("after third build: hits=%d misses=%d, want 1/2", h, m)
+	}
+}
+
+func TestChainCacheSweepHitsCache(t *testing.T) {
+	// Two jobs needing the same exact chain in one sweep: the second
+	// must hit the cache (the acceptance-criterion scenario).
+	c := NewChainCache()
+	jobs := []Job{
+		{Workload: Workload{Kind: SCU, S: 1}, N: 4, Steps: 2000, Exact: true},
+		{Workload: Workload{Kind: SCU, S: 1}, N: 4, Steps: 2000, Exact: true},
+	}
+	if _, err := Run(Config{Jobs: jobs, Seed: 1, Workers: 1, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestChainCacheFamiliesKeyedSeparately(t *testing.T) {
+	c := NewChainCache()
+	if _, err := c.SCUSystem(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchIncGlobal(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ParallelSystem(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SCUIndividual(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FetchIncIndividual(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ParallelIndividual(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SCUSystemQS(4, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 7 {
+		t.Errorf("hits=%d misses=%d, want 0/7 (distinct keys)", h, m)
+	}
+}
+
+func TestChainCacheCachesErrors(t *testing.T) {
+	c := NewChainCache()
+	// n far beyond the dense solver's reach must error, cheaply, twice.
+	if _, _, err := c.SCUIndividual(64); err == nil {
+		t.Fatal("expected an intractable-size error")
+	}
+	if _, _, err := c.SCUIndividual(64); err == nil {
+		t.Fatal("expected the cached error")
+	}
+	if h := c.Hits(); h != 1 {
+		t.Errorf("error entry not cached: hits=%d", h)
+	}
+}
+
+func TestChainCacheConcurrentSingleBuild(t *testing.T) {
+	c := NewChainCache()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	values := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := c.SCUSystem(5)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			values[g], errs[g] = a.SystemLatency()
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+		if math.Abs(values[g]-values[0]) != 0 {
+			t.Fatalf("goroutine %d saw a different latency", g)
+		}
+	}
+	if got := c.Hits() + c.Misses(); got != goroutines {
+		t.Errorf("%d lookups recorded for %d requests", got, goroutines)
+	}
+	if c.Misses() != 1 {
+		t.Errorf("misses=%d, want exactly 1 build", c.Misses())
+	}
+}
+
+func TestChainCacheLiftsUsable(t *testing.T) {
+	c := NewChainCache()
+	ind, lift, err := c.SCUIndividual(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lift) != ind.Chain.N() {
+		t.Errorf("lift has %d entries for %d states", len(lift), ind.Chain.N())
+	}
+}

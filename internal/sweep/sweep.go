@@ -1,0 +1,344 @@
+// Package sweep is the parallel experiment engine: it executes a
+// declarative grid of independent simulation jobs — algorithm family,
+// process count, scheduler, steps, warmup — on a worker pool, with
+// per-job deterministic seed derivation and a shared memoization cache
+// for the exact Markov-chain analyses that figure drivers pair with
+// every simulated point.
+//
+// Determinism is the design center. Each job draws its scheduler
+// randomness from an rng stream derived purely from (master seed, job
+// index), so a sweep's results are byte-identical whether it runs on
+// one worker or sixteen, and regardless of completion order. Results
+// are returned in input order.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+)
+
+// Latencies aggregates the measurements of one simulation run. It is
+// re-exported as pwf.Latencies.
+type Latencies struct {
+	// System is the expected number of system steps between two
+	// completions by anyone (the paper's system latency W).
+	System float64 `json:"system"`
+	// Individual is the mean over processes of the expected number of
+	// system steps between two completions by the same process (W_i).
+	Individual float64 `json:"individual"`
+	// CompletionRate is completions per system step (Figure 5's
+	// y-axis; ≈ 1/System).
+	CompletionRate float64 `json:"completion_rate"`
+	// Fairness is Jain's fairness index of per-process completion
+	// counts (1 = perfectly fair).
+	Fairness float64 `json:"fairness"`
+	// Completions is the total number of completed operations in the
+	// measurement window.
+	Completions uint64 `json:"completions"`
+}
+
+// Job is one point of a sweep grid.
+type Job struct {
+	// Workload selects and parameterizes the simulated algorithm.
+	Workload Workload `json:"workload"`
+	// N is the number of processes.
+	N int `json:"n"`
+	// Sched selects the scheduler; the zero value is uniform.
+	Sched SchedulerSpec `json:"sched"`
+	// Steps is the length of the measurement window in system steps.
+	Steps uint64 `json:"steps"`
+	// WarmupFraction is the warmup run before the measurement window,
+	// as a fraction of Steps in [0, 1). The zero value means no
+	// warmup; use DefaultWarmupFraction for the conventional 10%.
+	WarmupFraction float64 `json:"warmup_fraction"`
+	// Crash fail-stops the highest-id Crash processes before the run;
+	// the scheduler must support crashes.
+	Crash int `json:"crash,omitempty"`
+	// Exact requests the exact-chain system latency alongside the
+	// simulation, where a chain family exists (SCU, FetchInc,
+	// Parallel) and is tractable.
+	Exact bool `json:"exact,omitempty"`
+	// Label is carried through to the result for presentation.
+	Label string `json:"label,omitempty"`
+
+	// CompletionHook, when non-nil, observes every completion
+	// (including warmup) as (step, pid). Hooks run on the worker
+	// executing the job; they must not share mutable state with other
+	// jobs' hooks unless synchronized.
+	CompletionHook func(step uint64, pid int) `json:"-"`
+}
+
+// DefaultWarmupFraction is the conventional warmup used by the paper
+// reproduction drivers: 10% of the measurement window.
+const DefaultWarmupFraction = 0.1
+
+// Validate reports whether the job is well-formed.
+func (j Job) Validate() error {
+	if err := j.Workload.Validate(j.N); err != nil {
+		return err
+	}
+	if err := j.Sched.Validate(j.N); err != nil {
+		return err
+	}
+	if j.Steps == 0 {
+		return errors.New("sweep: job needs Steps >= 1")
+	}
+	if j.WarmupFraction < 0 || j.WarmupFraction >= 1 ||
+		math.IsNaN(j.WarmupFraction) {
+		return fmt.Errorf("sweep: warmup fraction %v out of [0, 1)", j.WarmupFraction)
+	}
+	if j.Crash < 0 || j.Crash >= j.N {
+		return fmt.Errorf("sweep: cannot crash %d of %d processes", j.Crash, j.N)
+	}
+	return nil
+}
+
+// Result is the structured outcome of one job, in input order.
+type Result struct {
+	// Index is the job's position in Config.Jobs.
+	Index int `json:"index"`
+	// Label echoes Job.Label.
+	Label string `json:"label,omitempty"`
+	// Job echoes the executed job.
+	Job Job `json:"job"`
+	// Seed is the derived rng seed the job's scheduler drew from.
+	Seed uint64 `json:"seed"`
+	// Latencies are the measured latency and fairness metrics.
+	Latencies Latencies `json:"latencies"`
+	// ProcCompletions is the per-process completion count over the
+	// measurement window.
+	ProcCompletions []uint64 `json:"proc_completions,omitempty"`
+	// Starved lists processes with zero completions.
+	Starved []int `json:"starved,omitempty"`
+	// Theta is the scheduler's stochasticity threshold θ.
+	Theta float64 `json:"theta"`
+	// Exact is the exact-chain system latency; valid only when
+	// ExactOK. Requested via Job.Exact, unavailable when no chain
+	// family matches or the state space is intractable.
+	Exact float64 `json:"exact,omitempty"`
+	// ExactOK reports whether Exact is valid.
+	ExactOK bool `json:"exact_ok,omitempty"`
+	// Elapsed is the job's wall time (not deterministic).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Config describes a sweep.
+type Config struct {
+	// Jobs is the grid, executed logically in order; results are
+	// aggregated in input order.
+	Jobs []Job
+	// Seed is the master seed. Job i draws from rng.Stream(Seed, i).
+	Seed uint64
+	// Workers bounds the worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Cache memoizes exact-chain constructions; nil selects the
+	// process-wide DefaultCache.
+	Cache *ChainCache
+	// Progress, when non-nil, is called after each job completes with
+	// the number of completed jobs and the total. Calls are serialized
+	// but may come from any worker, in completion order.
+	Progress func(done, total int)
+}
+
+// Run executes the sweep and returns one result per job, in input
+// order. The first job error aborts the sweep (workers finish their
+// in-flight jobs) and is returned wrapped with the job index.
+func Run(cfg Config) ([]Result, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("sweep: no jobs")
+	}
+	for i, job := range cfg.Jobs {
+		if err := job.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Jobs) {
+		workers = len(cfg.Jobs)
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+
+	results := make([]Result, len(cfg.Jobs))
+	errs := make([]error, len(cfg.Jobs))
+	var (
+		mu   sync.Mutex
+		done int
+		fail bool
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := RunJob(cfg.Jobs[i], rng.Stream(cfg.Seed, uint64(i)), cache)
+				res.Index = i
+				results[i], errs[i] = res, err
+				mu.Lock()
+				done++
+				if err != nil {
+					fail = true
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(done, len(cfg.Jobs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cfg.Jobs {
+		idx <- i
+		mu.Lock()
+		stop := fail
+		mu.Unlock()
+		if stop {
+			break
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, describe(cfg.Jobs[i]), err)
+		}
+	}
+	return results, nil
+}
+
+// RunJob executes a single job with an explicit scheduler seed, no
+// stream derivation, and returns its result with Index 0. It is the
+// single-run primitive behind pwf.Run.
+func RunJob(job Job, seed uint64, cache *ChainCache) (Result, error) {
+	if err := job.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cache == nil {
+		cache = DefaultCache
+	}
+	began := time.Now()
+
+	scheduler, err := job.Sched.build(job.N, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if job.Crash > 0 {
+		crasher, ok := scheduler.(sched.Crasher)
+		if !ok {
+			return Result{}, fmt.Errorf("sweep: scheduler %q does not support crashes", job.Sched)
+		}
+		for pid := job.N - job.Crash; pid < job.N; pid++ {
+			if err := crasher.Crash(pid); err != nil {
+				return Result{}, fmt.Errorf("sweep: crash process %d: %w", pid, err)
+			}
+		}
+	}
+	b, err := job.Workload.build(job.N)
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := machine.New(b.mem, b.procs, scheduler)
+	if err != nil {
+		return Result{}, err
+	}
+	if job.CompletionHook != nil {
+		sim.SetCompletionHook(job.CompletionHook)
+	}
+
+	res := Result{
+		Label: job.Label,
+		Job:   job,
+		Seed:  seed,
+		Theta: scheduler.Threshold(),
+	}
+	if res.Latencies, err = measure(sim, job.Steps, job.WarmupFraction); err != nil {
+		return Result{}, err
+	}
+	res.ProcCompletions = sim.Completions()
+	res.Starved = sim.StarvedProcesses()
+	if b.check != nil {
+		if err := b.check(); err != nil {
+			return Result{}, err
+		}
+	}
+	if job.Exact {
+		res.Exact, res.ExactOK = exactLatency(job, cache)
+	}
+	res.Elapsed = time.Since(began)
+	return res, nil
+}
+
+// measure runs the warmup, discards its metrics, runs the measurement
+// window and collects Latencies.
+func measure(sim *machine.Sim, steps uint64, warmupFraction float64) (Latencies, error) {
+	if warmup := uint64(warmupFraction * float64(steps)); warmup > 0 {
+		if err := sim.Run(warmup); err != nil {
+			return Latencies{}, err
+		}
+	}
+	sim.ResetMetrics()
+	if err := sim.Run(steps); err != nil {
+		return Latencies{}, err
+	}
+	var out Latencies
+	var err error
+	if out.System, err = sim.SystemLatency(); err != nil {
+		return Latencies{}, err
+	}
+	if out.Individual, err = sim.MeanIndividualLatency(); err != nil {
+		return Latencies{}, err
+	}
+	out.CompletionRate = sim.CompletionRate()
+	out.Fairness = sim.FairnessIndex()
+	out.Completions = sim.TotalCompletions()
+	return out, nil
+}
+
+// exactLatency computes the exact-chain system latency for the job's
+// workload through the cache. A missing chain family or an intractable
+// state space yields ok = false, not an error: sweeps routinely mix
+// tractable and intractable points.
+func exactLatency(job Job, cache *ChainCache) (w float64, ok bool) {
+	var (
+		a   interface{ SystemLatency() (float64, error) }
+		err error
+	)
+	switch job.Workload.Kind {
+	case SCU:
+		if job.Workload.Q == 0 && job.Workload.S == 1 {
+			a, err = cache.SCUSystem(job.N)
+		} else {
+			a, err = cache.SCUSystemQS(job.N, job.Workload.Q, job.Workload.S)
+		}
+	case FetchInc:
+		a, err = cache.FetchIncGlobal(job.N)
+	case Parallel:
+		a, err = cache.ParallelSystem(job.N, job.Workload.Q)
+	default:
+		return 0, false
+	}
+	if err != nil {
+		return 0, false
+	}
+	w, err = a.SystemLatency()
+	return w, err == nil
+}
+
+// describe renders a job compactly for error messages.
+func describe(job Job) string {
+	return fmt.Sprintf("%s n=%d sched=%s steps=%d", job.Workload.Kind, job.N, job.Sched, job.Steps)
+}

@@ -1,0 +1,347 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// WorkloadKind names a simulated algorithm family.
+type WorkloadKind string
+
+// The supported workload kinds, mirroring the algorithm catalogue of
+// cmd/pwfsim.
+const (
+	SCU         WorkloadKind = "scu"         // Algorithm 2, SCU(q, s)
+	Parallel    WorkloadKind = "parallel"    // Algorithm 4, q-step parallel code
+	FetchInc    WorkloadKind = "fetchinc"    // Algorithm 5, augmented-CAS counter
+	Unbounded   WorkloadKind = "unbounded"   // Algorithm 1, unbounded lock-free
+	Stack       WorkloadKind = "stack"       // Treiber stack
+	Queue       WorkloadKind = "queue"       // Michael–Scott queue
+	RCU         WorkloadKind = "rcu"         // read-mostly RCU-style workload
+	List        WorkloadKind = "list"        // Harris-style ordered list
+	HashSet     WorkloadKind = "hashset"     // striped hash set
+	LFUniversal WorkloadKind = "lfuniversal" // lock-free universal construction
+	WFUniversal WorkloadKind = "wfuniversal" // wait-free universal construction
+)
+
+// Workload is a declarative description of the simulated algorithm of
+// one job. The zero value of each parameter selects the documented
+// default, so Workload values can be written as literals, compared,
+// and serialized.
+type Workload struct {
+	Kind WorkloadKind `json:"kind"`
+	// Q is the preamble length (SCU) or the steps per operation
+	// (Parallel).
+	Q int `json:"q,omitempty"`
+	// S is the scan length (SCU).
+	S int `json:"s,omitempty"`
+	// WaitFactor scales the losers' wait loop of Algorithm 1
+	// (Unbounded); 0 selects the paper's n².
+	WaitFactor int64 `json:"wait_factor,omitempty"`
+	// PoolSize is the per-process node pool of the data-structure
+	// workloads (Stack, Queue, RCU, List, HashSet, WFUniversal);
+	// 0 selects 64 (8 for WFUniversal).
+	PoolSize int `json:"pool_size,omitempty"`
+}
+
+// Validate reports whether the workload is well-formed for n
+// processes.
+func (w Workload) Validate(n int) error {
+	if n < 1 {
+		return fmt.Errorf("sweep: workload %q needs n >= 1, got %d", w.Kind, n)
+	}
+	switch w.Kind {
+	case SCU, Parallel, FetchInc, Unbounded, Stack, Queue, RCU, List,
+		HashSet, LFUniversal, WFUniversal:
+	default:
+		return fmt.Errorf("sweep: unknown workload kind %q", w.Kind)
+	}
+	if w.Kind == Parallel && w.Q < 1 {
+		return errors.New("sweep: parallel code needs Q >= 1")
+	}
+	if w.PoolSize < 0 {
+		return fmt.Errorf("sweep: negative pool size %d", w.PoolSize)
+	}
+	return nil
+}
+
+// pool returns the configured pool size or the default.
+func (w Workload) pool(def int) int {
+	if w.PoolSize > 0 {
+		return w.PoolSize
+	}
+	return def
+}
+
+// built is an assembled workload: the simulated memory, the process
+// group, and an optional post-run invariant check (data-structure
+// workloads verify linearizability witnesses after the run).
+type built struct {
+	mem   *shmem.Memory
+	procs []machine.Process
+	check func() error
+}
+
+// build assembles the workload for n processes.
+func (w Workload) build(n int) (built, error) {
+	switch w.Kind {
+	case SCU:
+		mem, err := shmem.New(scu.SCULayout(w.S))
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := scu.NewSCUGroup(n, w.Q, w.S, 0)
+		return built{mem: mem, procs: procs}, err
+	case Parallel:
+		mem, err := shmem.New(1)
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := scu.NewParallelGroup(n, w.Q, 0)
+		return built{mem: mem, procs: procs}, err
+	case FetchInc:
+		mem, err := shmem.New(scu.FetchIncLayout)
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := scu.NewFetchIncGroup(n, 0)
+		return built{mem: mem, procs: procs}, err
+	case Unbounded:
+		mem, err := shmem.New(scu.UnboundedLayout)
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := scu.NewUnboundedGroup(n, 0, w.WaitFactor)
+		return built{mem: mem, procs: procs}, err
+	case Stack:
+		pool := w.pool(64)
+		st, err := scu.NewStack(n, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.StackLayout(n, pool))
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := st.Processes()
+		return built{mem: mem, procs: procs, check: func() error {
+			if st.Violations() != 0 || st.Err() != nil {
+				return fmt.Errorf("sweep: stack misbehaved: %d violations, %v",
+					st.Violations(), st.Err())
+			}
+			return nil
+		}}, err
+	case Queue:
+		pool := w.pool(64)
+		qu, err := scu.NewQueue(n, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.QueueLayout(n, pool))
+		if err != nil {
+			return built{}, err
+		}
+		qu.Init(mem)
+		procs, err := qu.Processes()
+		return built{mem: mem, procs: procs}, err
+	case RCU:
+		pool := w.pool(64)
+		readers := n - 1 - (n-1)/4 // read-mostly: ~3/4 readers
+		r, err := scu.NewRCU(n, readers, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.RCULayout(n-readers, pool))
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := r.Processes()
+		return built{mem: mem, procs: procs}, err
+	case List:
+		const keyspace = 32
+		pool := w.pool(64)
+		l, err := scu.NewList(n, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.ListLayout(n, pool))
+		if err != nil {
+			return built{}, err
+		}
+		l.Init(mem)
+		procs, err := l.Processes(keyspace)
+		return built{mem: mem, procs: procs}, err
+	case HashSet:
+		const (
+			buckets  = 8
+			keyspace = 64
+		)
+		pool := w.pool(32)
+		h, err := scu.NewHashSet(n, buckets, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.HashSetLayout(n, buckets, pool))
+		if err != nil {
+			return built{}, err
+		}
+		h.Init(mem)
+		procs, err := h.Processes(keyspace)
+		return built{mem: mem, procs: procs}, err
+	case LFUniversal:
+		u, err := scu.NewLFUniversal(scu.CounterObject{}, n, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.LFUniversalLayout)
+		if err != nil {
+			return built{}, err
+		}
+		procs, err := u.Processes(func(pid int, seq int64) int64 { return 1 })
+		return built{mem: mem, procs: procs}, err
+	case WFUniversal:
+		pool := w.pool(8)
+		u, err := scu.NewWFUniversal(scu.CounterObject{}, n, pool, 0)
+		if err != nil {
+			return built{}, err
+		}
+		mem, err := shmem.New(scu.WFUniversalLayout(n, pool))
+		if err != nil {
+			return built{}, err
+		}
+		u.Init(mem)
+		procs, err := u.Processes(func(pid int, seq int64) int64 { return 1 })
+		return built{mem: mem, procs: procs}, err
+	default:
+		return built{}, fmt.Errorf("sweep: unknown workload kind %q", w.Kind)
+	}
+}
+
+// SchedKind names a scheduler family.
+type SchedKind string
+
+// The supported scheduler kinds.
+const (
+	SchedUniform    SchedKind = "uniform"    // the paper's uniform stochastic scheduler
+	SchedSticky     SchedKind = "sticky"     // Markov-modulated, reschedules with prob. Rho
+	SchedRoundRobin SchedKind = "roundrobin" // deterministic fair baseline
+	SchedLottery    SchedKind = "lottery"    // ticket-based lottery scheduling
+	SchedAdversary  SchedKind = "adversary"  // singles out Victim, θ = 0
+)
+
+// SchedulerSpec is a declarative description of a scheduler, buildable
+// for any n and seed. The zero value is the uniform scheduler.
+type SchedulerSpec struct {
+	Kind SchedKind `json:"kind,omitempty"`
+	// Rho is the stickiness in [0, 1) (Sticky only).
+	Rho float64 `json:"rho,omitempty"`
+	// Tickets are the per-process lottery tickets (Lottery only); nil
+	// gives every process one ticket.
+	Tickets []int `json:"tickets,omitempty"`
+	// Victim is the process the adversary singles out (Adversary only).
+	Victim int `json:"victim,omitempty"`
+}
+
+// Validate reports whether the spec is well-formed for n processes.
+func (s SchedulerSpec) Validate(n int) error {
+	switch s.Kind {
+	case "", SchedUniform, SchedRoundRobin:
+		return nil
+	case SchedSticky:
+		if s.Rho < 0 || s.Rho >= 1 {
+			return fmt.Errorf("sweep: sticky rho %v out of [0, 1)", s.Rho)
+		}
+		return nil
+	case SchedLottery:
+		if s.Tickets != nil && len(s.Tickets) != n {
+			return fmt.Errorf("sweep: %d tickets for %d processes", len(s.Tickets), n)
+		}
+		return nil
+	case SchedAdversary:
+		if s.Victim < 0 || s.Victim >= n {
+			return fmt.Errorf("sweep: adversary victim %d out of range [0, %d)", s.Victim, n)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sweep: unknown scheduler kind %q", s.Kind)
+	}
+}
+
+// build constructs the scheduler for n processes, drawing randomness
+// from seed.
+func (s SchedulerSpec) build(n int, seed uint64) (sched.Scheduler, error) {
+	switch s.Kind {
+	case "", SchedUniform:
+		return sched.NewUniform(n, rng.New(seed))
+	case SchedRoundRobin:
+		return sched.NewRoundRobin(n)
+	case SchedSticky:
+		return sched.NewSticky(n, s.Rho, rng.New(seed))
+	case SchedLottery:
+		tickets := s.Tickets
+		if tickets == nil {
+			tickets = make([]int, n)
+			for i := range tickets {
+				tickets[i] = 1
+			}
+		}
+		return sched.NewLottery(tickets, rng.New(seed))
+	case SchedAdversary:
+		return sched.NewAdversarial(n, sched.SingleOut(s.Victim))
+	default:
+		return nil, fmt.Errorf("sweep: unknown scheduler kind %q", s.Kind)
+	}
+}
+
+// String renders the spec in the cmd/pwfsim flag syntax (e.g.
+// "uniform", "sticky:0.9").
+func (s SchedulerSpec) String() string {
+	switch s.Kind {
+	case "", SchedUniform:
+		return string(SchedUniform)
+	case SchedSticky:
+		return fmt.Sprintf("sticky:%g", s.Rho)
+	case SchedAdversary:
+		return fmt.Sprintf("adversary:%d", s.Victim)
+	default:
+		return string(s.Kind)
+	}
+}
+
+// ParseScheduler parses the cmd/pwfsim scheduler flag syntax:
+// uniform, roundrobin, lottery, sticky:<rho>, adversary:<victim>.
+func ParseScheduler(name string) (SchedulerSpec, error) {
+	switch {
+	case name == "uniform":
+		return SchedulerSpec{Kind: SchedUniform}, nil
+	case name == "roundrobin":
+		return SchedulerSpec{Kind: SchedRoundRobin}, nil
+	case name == "lottery":
+		return SchedulerSpec{Kind: SchedLottery}, nil
+	case strings.HasPrefix(name, "sticky:"):
+		rho, err := strconv.ParseFloat(strings.TrimPrefix(name, "sticky:"), 64)
+		if err != nil {
+			return SchedulerSpec{}, fmt.Errorf("sweep: parse sticky rho: %w", err)
+		}
+		if rho < 0 || rho >= 1 {
+			return SchedulerSpec{}, fmt.Errorf("sweep: sticky rho %v out of [0, 1)", rho)
+		}
+		return SchedulerSpec{Kind: SchedSticky, Rho: rho}, nil
+	case strings.HasPrefix(name, "adversary:"):
+		victim, err := strconv.Atoi(strings.TrimPrefix(name, "adversary:"))
+		if err != nil {
+			return SchedulerSpec{}, fmt.Errorf("sweep: parse adversary victim: %w", err)
+		}
+		return SchedulerSpec{Kind: SchedAdversary, Victim: victim}, nil
+	default:
+		return SchedulerSpec{}, fmt.Errorf("sweep: unknown scheduler %q", name)
+	}
+}

@@ -8,11 +8,15 @@
 //     algorithm from the class SCU(q, s), a fetch-and-increment
 //     counter, the unbounded Algorithm 1, a Treiber stack or a
 //     Michael–Scott queue — under a stochastic scheduler, and measure
-//     the paper's latency and fairness metrics (Simulate*, NewSim).
+//     the paper's latency and fairness metrics. Run measures a single
+//     declarative workload; RunSweep executes a whole parameter grid
+//     in parallel with deterministic per-job seeding (see run.go).
+//     NewSim remains the low-level composable path.
 //
 //   - Exact analysis: the paper's Markov chains built exactly for
 //     small n, with stationary distributions, latencies, and lifting
-//     verification (Exact*, VerifyLifting*).
+//     verification (Exact*, VerifyLifting*), memoized in a shared
+//     cache so repeated requests are free.
 //
 //   - Native measurement: real goroutine/atomic counterparts with the
 //     atomic-ticket schedule recorder of Appendix A and the
@@ -33,6 +37,7 @@ import (
 	"pwf/internal/sched"
 	"pwf/internal/scu"
 	"pwf/internal/shmem"
+	"pwf/internal/sweep"
 )
 
 // Re-exported core types. These aliases are the supported surface of
@@ -139,91 +144,42 @@ func NewUnboundedProcesses(n int, waitFactor int64) ([]Process, error) {
 // UnboundedMemSize is the register footprint of Algorithm 1.
 const UnboundedMemSize = scu.UnboundedLayout
 
-// Latencies aggregates the measurements of one simulation run.
-type Latencies struct {
-	// System is the expected number of system steps between two
-	// completions by anyone (the paper's system latency W).
-	System float64
-	// Individual is the mean over processes of the expected number of
-	// system steps between two completions by the same process (W_i).
-	Individual float64
-	// CompletionRate is completions per system step (Figure 5's
-	// y-axis; ≈ 1/System).
-	CompletionRate float64
-	// Fairness is Jain's fairness index of per-process completion
-	// counts (1 = perfectly fair).
-	Fairness float64
-	// Completions is the total number of completed operations in the
-	// measurement window.
-	Completions uint64
-}
-
-// measure runs warmup steps, discards metrics, runs the measurement
-// window and collects Latencies.
-func measure(sim *Sim, steps uint64) (Latencies, error) {
-	if err := sim.Run(steps / 10); err != nil {
-		return Latencies{}, err
-	}
-	sim.ResetMetrics()
-	if err := sim.Run(steps); err != nil {
-		return Latencies{}, err
-	}
-	var out Latencies
-	var err error
-	if out.System, err = sim.SystemLatency(); err != nil {
-		return Latencies{}, err
-	}
-	if out.Individual, err = sim.MeanIndividualLatency(); err != nil {
-		return Latencies{}, err
-	}
-	out.CompletionRate = sim.CompletionRate()
-	out.Fairness = sim.FairnessIndex()
-	out.Completions = sim.TotalCompletions()
-	return out, nil
-}
+// Latencies aggregates the measurements of one simulation run: the
+// system latency W, the mean individual latency W_i, the completion
+// rate, Jain's fairness index, and the completion count.
+type Latencies = sweep.Latencies
 
 // SimulateSCU measures an SCU(q, s) object with n processes under the
 // uniform stochastic scheduler for the given number of steps (plus a
 // 10% warmup).
+//
+// Deprecated: use Run with SCUWorkload, which also exposes the
+// scheduler model and warmup window:
+//
+//	Run(NewRunConfig(SCUWorkload(q, s), n), WithSteps(steps), WithSeed(seed))
 func SimulateSCU(n, q, s int, steps, seed uint64) (Latencies, error) {
-	procs, err := NewSCUProcesses(n, q, s)
-	if err != nil {
-		return Latencies{}, err
-	}
-	u, err := NewUniformScheduler(n, seed)
-	if err != nil {
-		return Latencies{}, err
-	}
-	sim, err := NewSim(SCUMemSize(s), procs, u)
-	if err != nil {
-		return Latencies{}, err
-	}
-	return measure(sim, steps)
+	return Run(NewRunConfig(SCUWorkload(q, s), n),
+		WithSteps(steps), WithSeed(seed))
 }
 
 // SimulateFetchInc measures the fetch-and-increment counter with n
 // processes under the uniform stochastic scheduler.
+//
+// Deprecated: use Run with FetchIncWorkload, which also exposes the
+// scheduler model and warmup window:
+//
+//	Run(NewRunConfig(FetchIncWorkload(), n), WithSteps(steps), WithSeed(seed))
 func SimulateFetchInc(n int, steps, seed uint64) (Latencies, error) {
-	procs, err := NewFetchIncProcesses(n)
-	if err != nil {
-		return Latencies{}, err
-	}
-	u, err := NewUniformScheduler(n, seed)
-	if err != nil {
-		return Latencies{}, err
-	}
-	sim, err := NewSim(FetchIncMemSize, procs, u)
-	if err != nil {
-		return Latencies{}, err
-	}
-	return measure(sim, steps)
+	return Run(NewRunConfig(FetchIncWorkload(), n),
+		WithSteps(steps), WithSeed(seed))
 }
 
 // ExactSCUSystemLatency returns the exact system latency W of
 // SCU(0, 1) with n processes, from the stationary distribution of the
-// Section 6.1.1 system chain. Theorem 5 bounds it by O(√n).
+// Section 6.1.1 system chain. Theorem 5 bounds it by O(√n). The chain
+// is memoized process-wide: repeated calls for the same n are free.
 func ExactSCUSystemLatency(n int) (float64, error) {
-	sys, _, err := chains.SCUSystem(n)
+	sys, err := sweep.DefaultCache.SCUSystem(n)
 	if err != nil {
 		return 0, err
 	}
@@ -232,8 +188,9 @@ func ExactSCUSystemLatency(n int) (float64, error) {
 
 // ExactFetchIncLatency returns the exact system latency W of the
 // fetch-and-increment counter with n processes (Lemma 12: W ≤ 2√n).
+// The chain is memoized process-wide.
 func ExactFetchIncLatency(n int) (float64, error) {
-	glob, err := chains.FetchIncGlobal(n)
+	glob, err := sweep.DefaultCache.FetchIncGlobal(n)
 	if err != nil {
 		return 0, err
 	}
@@ -243,12 +200,13 @@ func ExactFetchIncLatency(n int) (float64, error) {
 // VerifySCULifting builds the individual and system chains of
 // SCU(0, 1) for n processes (n ≤ 8) and verifies that the former
 // lifts onto the latter (Lemma 5), returning the numerical report.
+// Both chains come from the process-wide memoization cache.
 func VerifySCULifting(n int) (*LiftingReport, error) {
-	ind, lift, err := chains.SCUIndividual(n)
+	ind, lift, err := sweep.DefaultCache.SCUIndividual(n)
 	if err != nil {
 		return nil, err
 	}
-	sys, _, err := chains.SCUSystem(n)
+	sys, err := sweep.DefaultCache.SCUSystem(n)
 	if err != nil {
 		return nil, err
 	}

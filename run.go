@@ -1,0 +1,198 @@
+package pwf
+
+import (
+	"fmt"
+
+	"pwf/internal/sweep"
+)
+
+// Workload is a declarative description of a simulated algorithm —
+// the unit of the unified Run API and of sweep grids. Construct one
+// with the *Workload helpers or as a literal.
+type Workload = sweep.Workload
+
+// WorkloadKind names an algorithm family.
+type WorkloadKind = sweep.WorkloadKind
+
+// SchedulerSpec is a declarative, reusable description of a scheduler
+// (unlike the New*Scheduler constructors, which return a stateful
+// instance bound to one n and seed).
+type SchedulerSpec = sweep.SchedulerSpec
+
+// SCUWorkload describes Algorithm 2 with parameters (q, s).
+func SCUWorkload(q, s int) Workload {
+	return Workload{Kind: sweep.SCU, Q: q, S: s}
+}
+
+// FetchIncWorkload describes the augmented-CAS fetch-and-increment
+// counter (Algorithm 5).
+func FetchIncWorkload() Workload { return Workload{Kind: sweep.FetchInc} }
+
+// ParallelWorkload describes q-step parallel code (Algorithm 4).
+func ParallelWorkload(q int) Workload {
+	return Workload{Kind: sweep.Parallel, Q: q}
+}
+
+// UnboundedWorkload describes Algorithm 1; waitFactor 0 selects the
+// paper's n².
+func UnboundedWorkload(waitFactor int64) Workload {
+	return Workload{Kind: sweep.Unbounded, WaitFactor: waitFactor}
+}
+
+// StackWorkload describes the simulated Treiber stack.
+func StackWorkload() Workload { return Workload{Kind: sweep.Stack} }
+
+// QueueWorkload describes the simulated Michael–Scott queue.
+func QueueWorkload() Workload { return Workload{Kind: sweep.Queue} }
+
+// UniformSpec describes the paper's uniform stochastic scheduler.
+func UniformSpec() SchedulerSpec { return SchedulerSpec{Kind: sweep.SchedUniform} }
+
+// StickySpec describes the Markov-modulated scheduler with stickiness
+// rho in [0, 1).
+func StickySpec(rho float64) SchedulerSpec {
+	return SchedulerSpec{Kind: sweep.SchedSticky, Rho: rho}
+}
+
+// RoundRobinSpec describes the deterministic fair baseline.
+func RoundRobinSpec() SchedulerSpec {
+	return SchedulerSpec{Kind: sweep.SchedRoundRobin}
+}
+
+// LotterySpec describes ticket-based lottery scheduling; nil tickets
+// give every process one ticket.
+func LotterySpec(tickets []int) SchedulerSpec {
+	return SchedulerSpec{Kind: sweep.SchedLottery, Tickets: tickets}
+}
+
+// ParseScheduler parses the CLI scheduler syntax — uniform,
+// roundrobin, lottery, sticky:<rho>, adversary:<victim> — into a
+// SchedulerSpec.
+func ParseScheduler(name string) (SchedulerSpec, error) {
+	return sweep.ParseScheduler(name)
+}
+
+// RunConfig is the input of Run: a workload, a process count, and
+// measurement settings. NewRunConfig fills in the defaults; the With*
+// functional options override them.
+type RunConfig struct {
+	// Workload is the simulated algorithm.
+	Workload Workload
+	// N is the number of processes.
+	N int
+	// Steps is the measurement window in system steps.
+	Steps uint64
+	// WarmupFraction is the warmup before the measurement window as a
+	// fraction of Steps; it must lie in [0, 1).
+	WarmupFraction float64
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// Scheduler selects the scheduler model.
+	Scheduler SchedulerSpec
+}
+
+// Default measurement settings of NewRunConfig.
+const (
+	DefaultSteps = 1_000_000
+	// DefaultWarmupFraction is the conventional 10% warmup the
+	// deprecated Simulate* functions always used.
+	DefaultWarmupFraction = sweep.DefaultWarmupFraction
+	DefaultSeed           = 1
+)
+
+// RunOption overrides one RunConfig setting.
+type RunOption func(*RunConfig)
+
+// WithScheduler selects the scheduler model (default: uniform).
+func WithScheduler(s SchedulerSpec) RunOption {
+	return func(c *RunConfig) { c.Scheduler = s }
+}
+
+// WithSteps sets the measurement window (default: DefaultSteps).
+func WithSteps(steps uint64) RunOption {
+	return func(c *RunConfig) { c.Steps = steps }
+}
+
+// WithWarmupFraction sets the warmup as a fraction of the measurement
+// window (default: DefaultWarmupFraction). Run rejects values outside
+// [0, 1).
+func WithWarmupFraction(f float64) RunOption {
+	return func(c *RunConfig) { c.WarmupFraction = f }
+}
+
+// WithSeed sets the rng seed (default: DefaultSeed).
+func WithSeed(seed uint64) RunOption {
+	return func(c *RunConfig) { c.Seed = seed }
+}
+
+// NewRunConfig returns the configuration for measuring workload w with
+// n processes under the defaults: uniform scheduler, DefaultSteps
+// steps, DefaultWarmupFraction warmup, DefaultSeed seed.
+func NewRunConfig(w Workload, n int, opts ...RunOption) RunConfig {
+	cfg := RunConfig{
+		Workload:       w,
+		N:              n,
+		Steps:          DefaultSteps,
+		WarmupFraction: DefaultWarmupFraction,
+		Seed:           DefaultSeed,
+		Scheduler:      UniformSpec(),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// Run measures one workload under one scheduler — the unified entry
+// point replacing the Simulate* constellation. Options applied here
+// override cfg:
+//
+//	lat, err := pwf.Run(pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 16),
+//	        pwf.WithSteps(2_000_000), pwf.WithSeed(7))
+//
+// It validates cfg (in particular WarmupFraction must lie in [0, 1))
+// and runs warmup + measurement, returning the latency and fairness
+// metrics.
+func Run(cfg RunConfig, opts ...RunOption) (Latencies, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	res, err := sweep.RunJob(sweep.Job{
+		Workload:       cfg.Workload,
+		N:              cfg.N,
+		Sched:          cfg.Scheduler,
+		Steps:          cfg.Steps,
+		WarmupFraction: cfg.WarmupFraction,
+	}, cfg.Seed, nil)
+	if err != nil {
+		return Latencies{}, fmt.Errorf("pwf: run: %w", err)
+	}
+	return res.Latencies, nil
+}
+
+// SweepJob is one point of a sweep grid.
+type SweepJob = sweep.Job
+
+// SweepResult is the structured outcome of one sweep job.
+type SweepResult = sweep.Result
+
+// SweepConfig describes a sweep: a job grid, a master seed, and an
+// optional worker-pool bound, chain cache, and progress callback.
+type SweepConfig = sweep.Config
+
+// RunSweep executes a grid of independent jobs on a worker pool sized
+// to GOMAXPROCS (or SweepConfig.Workers) and returns one result per
+// job, in input order. Results are byte-identical for a given master
+// seed regardless of worker count: job i draws its randomness from a
+// SplitMix-derived stream (master, i). Exact-chain analyses requested
+// via SweepJob.Exact are memoized in a cache shared across the sweep
+// (and, by default, the process).
+//
+//	jobs := []pwf.SweepJob{
+//	        {Workload: pwf.SCUWorkload(0, 1), N: 16, Steps: 1_000_000, Exact: true},
+//	        {Workload: pwf.FetchIncWorkload(), N: 16, Steps: 1_000_000},
+//	}
+//	results, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1})
+func RunSweep(cfg SweepConfig) ([]SweepResult, error) {
+	return sweep.Run(cfg)
+}

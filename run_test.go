@@ -1,0 +1,144 @@
+package pwf_test
+
+import (
+	"math"
+	"testing"
+
+	"pwf"
+)
+
+func TestRunMatchesDeprecatedSimulate(t *testing.T) {
+	// The deprecated wrappers are defined as Run calls; the unified
+	// entry point must reproduce their historical behaviour exactly
+	// (uniform scheduler seeded directly, 10% warmup).
+	const (
+		n     = 6
+		steps = 50000
+		seed  = 11
+	)
+	oldSCU, err := pwf.SimulateSCU(n, 0, 1, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSCU, err := pwf.Run(pwf.NewRunConfig(pwf.SCUWorkload(0, 1), n),
+		pwf.WithSteps(steps), pwf.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSCU != newSCU {
+		t.Errorf("Run %+v != SimulateSCU %+v", newSCU, oldSCU)
+	}
+
+	oldFI, err := pwf.SimulateFetchInc(n, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFI, err := pwf.Run(pwf.NewRunConfig(pwf.FetchIncWorkload(), n),
+		pwf.WithSteps(steps), pwf.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldFI != newFI {
+		t.Errorf("Run %+v != SimulateFetchInc %+v", newFI, oldFI)
+	}
+}
+
+func TestRunWarmupFractionValidated(t *testing.T) {
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(1000))
+	for _, f := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := pwf.Run(cfg, pwf.WithWarmupFraction(f)); err == nil {
+			t.Errorf("warmup fraction %v accepted", f)
+		}
+	}
+	for _, f := range []float64{0, 0.1, 0.99} {
+		if _, err := pwf.Run(cfg, pwf.WithWarmupFraction(f)); err != nil {
+			t.Errorf("warmup fraction %v rejected: %v", f, err)
+		}
+	}
+}
+
+func TestRunWarmupChangesMeasurementWindow(t *testing.T) {
+	// Different warmup fractions shift the measurement window along
+	// the same schedule stream, so the measured completions differ.
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(20000))
+	a, err := pwf.Run(cfg, pwf.WithWarmupFraction(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pwf.Run(cfg, pwf.WithWarmupFraction(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("warmup fraction had no effect on the measurement")
+	}
+}
+
+func TestRunWithSchedulerOption(t *testing.T) {
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 8, pwf.WithSteps(50000))
+	uniform, err := pwf.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sticky, err := pwf.Run(cfg, pwf.WithScheduler(pwf.StickySpec(0.9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform == sticky {
+		t.Error("scheduler option had no effect")
+	}
+	if _, err := pwf.Run(cfg, pwf.WithScheduler(pwf.RoundRobinSpec())); err != nil {
+		t.Errorf("round-robin run failed: %v", err)
+	}
+	if _, err := pwf.Run(cfg, pwf.WithScheduler(pwf.LotterySpec(nil))); err != nil {
+		t.Errorf("lottery run failed: %v", err)
+	}
+	if _, err := pwf.Run(cfg, pwf.WithScheduler(pwf.StickySpec(1.5))); err == nil {
+		t.Error("invalid stickiness accepted")
+	}
+}
+
+func TestRunSweepPublic(t *testing.T) {
+	jobs := []pwf.SweepJob{
+		{Workload: pwf.SCUWorkload(0, 1), N: 4, Steps: 20000,
+			WarmupFraction: pwf.DefaultWarmupFraction, Exact: true},
+		{Workload: pwf.FetchIncWorkload(), N: 4, Steps: 20000, Exact: true},
+		{Workload: pwf.UnboundedWorkload(0), N: 2, Steps: 20000},
+		{Workload: pwf.QueueWorkload(), N: 4, Steps: 20000},
+	}
+	results, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	// The exact values must agree with the memoized public accessors.
+	wSCU, err := pwf.ExactSCUSystemLatency(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].ExactOK || results[0].Exact != wSCU {
+		t.Errorf("sweep exact %v (ok=%v), accessor %v",
+			results[0].Exact, results[0].ExactOK, wSCU)
+	}
+	wFI, err := pwf.ExactFetchIncLatency(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[1].ExactOK || results[1].Exact != wFI {
+		t.Errorf("sweep exact %v (ok=%v), accessor %v",
+			results[1].Exact, results[1].ExactOK, wFI)
+	}
+
+	// Re-running the sweep with the same master seed reproduces it.
+	again, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 123, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].Latencies != again[i].Latencies {
+			t.Errorf("job %d not reproducible across worker counts", i)
+		}
+	}
+}
