@@ -22,43 +22,53 @@ import (
 
 	"pwf/internal/chains"
 	"pwf/internal/markov"
+	"pwf/internal/obs"
 	"pwf/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pwfchains:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pwfchains", flag.ContinueOnError)
 	var (
-		chain = fs.String("chain", "scu", "chain family: scu, fetchinc, parallel")
-		n     = fs.Int("n", 4, "number of processes")
-		q     = fs.Int("q", 3, "steps per operation (parallel only)")
-		full  = fs.Bool("individual", true, "also build the individual chain and verify the lifting")
-		dot   = fs.Bool("dot", false, "emit the system chain as Graphviz DOT (Figure 1) instead of the analysis")
+		chain   = fs.String("chain", "scu", "chain family: scu, fetchinc, parallel")
+		n       = fs.Int("n", 4, "number of processes")
+		q       = fs.Int("q", 3, "steps per operation (parallel only)")
+		full    = fs.Bool("individual", true, "also build the individual chain and verify the lifting")
+		dot     = fs.Bool("dot", false, "emit the system chain as Graphviz DOT (Figure 1) instead of the analysis")
+		metrics = fs.Bool("metrics", false, "print a JSON metrics snapshot (chain-cache hits/misses) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *dot {
-		return emitDOT(out, *chain, *n, *q)
+	err := func() error {
+		if *dot {
+			return emitDOT(out, *chain, *n, *q)
+		}
+		switch *chain {
+		case "scu":
+			return analyzeSCU(out, *n, *full)
+		case "fetchinc":
+			return analyzeFetchInc(out, *n, *full)
+		case "parallel":
+			return analyzeParallel(out, *n, *q, *full)
+		default:
+			return fmt.Errorf("unknown chain family %q", *chain)
+		}
+	}()
+	if err != nil {
+		return err
 	}
-
-	switch *chain {
-	case "scu":
-		return analyzeSCU(out, *n, *full)
-	case "fetchinc":
-		return analyzeFetchInc(out, *n, *full)
-	case "parallel":
-		return analyzeParallel(out, *n, *q, *full)
-	default:
-		return fmt.Errorf("unknown chain family %q", *chain)
+	if *metrics {
+		return obs.Default.WriteJSON(errOut)
 	}
+	return nil
 }
 
 func analyzeSCU(out io.Writer, n int, full bool) error {

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 func TestRunSCUChain(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "scu", "-n", "3"}, &buf); err != nil {
+	if err := run([]string{"-chain", "scu", "-n", "3"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +22,7 @@ func TestRunSCUChain(t *testing.T) {
 
 func TestRunFetchIncChain(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "fetchinc", "-n", "4"}, &buf); err != nil {
+	if err := run([]string{"-chain", "fetchinc", "-n", "4"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +35,7 @@ func TestRunFetchIncChain(t *testing.T) {
 
 func TestRunParallelChain(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "parallel", "-n", "3", "-q", "2"}, &buf); err != nil {
+	if err := run([]string{"-chain", "parallel", "-n", "3", "-q", "2"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Lemma 11") {
@@ -44,7 +45,7 @@ func TestRunParallelChain(t *testing.T) {
 
 func TestRunSystemOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "scu", "-n", "20", "-individual=false"}, &buf); err != nil {
+	if err := run([]string{"-chain", "scu", "-n", "20", "-individual=false"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "lifting verified") {
@@ -56,7 +57,7 @@ func TestRunIndividualTooLargeDegradesGracefully(t *testing.T) {
 	// n beyond the individual-chain cap must still print the system
 	// analysis and say why the lifting was skipped.
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "scu", "-n", "12"}, &buf); err != nil {
+	if err := run([]string{"-chain", "scu", "-n", "12"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "individual chain skipped") {
@@ -67,7 +68,7 @@ func TestRunIndividualTooLargeDegradesGracefully(t *testing.T) {
 func TestRunDOT(t *testing.T) {
 	for _, chain := range []string{"scu", "fetchinc", "parallel"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-chain", chain, "-n", "2", "-dot"}, &buf); err != nil {
+		if err := run([]string{"-chain", chain, "-n", "2", "-dot"}, &buf, &buf); err != nil {
 			t.Fatalf("%s: %v", chain, err)
 		}
 		out := buf.String()
@@ -76,7 +77,7 @@ func TestRunDOT(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-chain", "nope", "-dot"}, &buf); err == nil {
+	if err := run([]string{"-chain", "nope", "-dot"}, &buf, &buf); err == nil {
 		t.Error("bad chain with -dot: nil error")
 	}
 }
@@ -88,8 +89,34 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		{"-badflag"},
 	} {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(args, &buf, &buf); err == nil {
 			t.Errorf("args %v: nil error", args)
 		}
+	}
+}
+
+func TestRunMetricsReportsCacheHits(t *testing.T) {
+	// The same chain twice: the second invocation must be a cache hit,
+	// and -metrics must expose the hit/miss gauges.
+	var out bytes.Buffer
+	if err := run([]string{"-chain", "scu", "-n", "3"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	out.Reset()
+	if err := run([]string{"-chain", "scu", "-n", "3", "-metrics"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Gauges map[string]uint64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(errOut.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, errOut.String())
+	}
+	if snap.Gauges["chain_cache_hits"] == 0 {
+		t.Errorf("no cache hits after repeated analysis: %v", snap.Gauges)
+	}
+	if snap.Gauges["chain_cache_misses"] == 0 {
+		t.Errorf("no cache misses recorded: %v", snap.Gauges)
 	}
 }

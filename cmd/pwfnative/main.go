@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	pwfnative -mode schedule -workers 8 -ops 200000
-//	pwfnative -mode rate -maxworkers 32 -ops 100000 [-algo counter|stack|queue]
+//	pwfnative -mode schedule -workers 8 -ops 200000 [-trace out.ndjson]
+//	pwfnative -mode rate -maxworkers 32 -ops 100000 [-algo counter|stack|queue] [-metrics]
+//
+// Observability flags: -trace writes the recovered hardware
+// interleaving as NDJSON sched events (schedule mode only); -metrics
+// prints a JSON metrics snapshot to stderr, including the wait-free
+// retry/step histograms the rate workloads record; -debug-addr serves
+// /metrics, /debug/vars and /debug/pprof over HTTP for the duration
+// of the run; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -15,18 +22,20 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"pwf/internal/native"
+	"pwf/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pwfnative:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pwfnative", flag.ContinueOnError)
 	var (
 		mode       = fs.String("mode", "schedule", "experiment: schedule, rate")
@@ -34,28 +43,88 @@ func run(args []string, out io.Writer) error {
 		maxWorkers = fs.Int("maxworkers", 2*runtime.GOMAXPROCS(0), "largest worker count for -mode rate")
 		ops        = fs.Int("ops", 200000, "operations per worker")
 		algo       = fs.String("algo", "counter", "workload for -mode rate: counter, add, stack, queue")
+		traceFile  = fs.String("trace", "", "write the recovered schedule as NDJSON events (schedule mode)")
+		metrics    = fs.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	switch *mode {
-	case "schedule":
-		return runSchedule(out, *workers, *ops)
-	case "rate":
-		return runRate(out, *maxWorkers, *ops, *algo)
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	if *traceFile != "" && *mode != "schedule" {
+		return fmt.Errorf("-trace applies only to -mode schedule")
 	}
+
+	if *debugAddr != "" {
+		bound, stop, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(errOut, "debug server listening on %s\n", bound)
+	}
+
+	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		switch *mode {
+		case "schedule":
+			return runSchedule(out, *workers, *ops, *traceFile)
+		case "rate":
+			return runRate(out, *maxWorkers, *ops, *algo, *metrics)
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if *metrics {
+		return obs.Default.WriteJSON(errOut)
+	}
+	return nil
 }
 
-func runSchedule(out io.Writer, workers, ops int) error {
+// withProfiles brackets f with optional CPU and heap profiling.
+func withProfiles(cpu, mem string, f func() error) error {
+	if cpu != "" {
+		cf, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if mem != "" {
+		mf, err := os.Create(mem)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(mf)
+	}
+	return nil
+}
+
+func runSchedule(out io.Writer, workers, ops int, traceFile string) error {
 	s, err := native.RecordSchedule(workers, ops)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "recorded %d steps by %d workers (GOMAXPROCS=%d)\n\n",
 		s.Len(), workers, runtime.GOMAXPROCS(0))
+
+	if traceFile != "" {
+		if err := writeScheduleTrace(traceFile, s); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintln(out, "Figure 3: per-worker step shares (ideal = 1/n)")
 	ideal := 1 / float64(workers)
@@ -75,8 +144,35 @@ func runSchedule(out io.Writer, workers, ops int) error {
 	return nil
 }
 
-func runRate(out io.Writer, maxWorkers, ops int, algo string) error {
-	measure, err := rateFunc(algo)
+// writeScheduleTrace dumps the recovered hardware interleaving as
+// NDJSON sched events (1-based steps, matching the simulator's
+// numbering) so it can be replayed through the simulator's
+// trace-driven scheduler.
+func writeScheduleTrace(path string, s *native.Schedule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTraceRecorder(f)
+	for i, w := range s.Order() {
+		tr.Record(obs.Event{Kind: obs.KindSched, Step: uint64(i) + 1, PID: int(w)})
+	}
+	if err := tr.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runRate(out io.Writer, maxWorkers, ops int, algo string, metrics bool) error {
+	var stats *obs.OpStats
+	var opts []native.RateOption
+	if metrics {
+		stats = &obs.OpStats{}
+		stats.Register(obs.Default, "native_"+algo)
+		opts = append(opts, native.WithOpStats(stats))
+	}
+	measure, err := rateFunc(algo, opts)
 	if err != nil {
 		return err
 	}
@@ -101,17 +197,21 @@ func runRate(out io.Writer, maxWorkers, ops int, algo string) error {
 	return nil
 }
 
-func rateFunc(algo string) (func(workers, ops int) (native.RateResult, error), error) {
+func rateFunc(algo string, opts []native.RateOption) (func(workers, ops int) (native.RateResult, error), error) {
+	var measure func(workers, ops int, opts ...native.RateOption) (native.RateResult, error)
 	switch algo {
 	case "counter":
-		return native.MeasureCASCounterRate, nil
+		measure = native.MeasureCASCounterRate
 	case "add":
-		return native.MeasureAddCounterRate, nil
+		measure = native.MeasureAddCounterRate
 	case "stack":
-		return native.MeasureStackRate, nil
+		measure = native.MeasureStackRate
 	case "queue":
-		return native.MeasureQueueRate, nil
+		measure = native.MeasureQueueRate
 	default:
 		return nil, fmt.Errorf("unknown workload %q", algo)
 	}
+	return func(workers, ops int) (native.RateResult, error) {
+		return measure(workers, ops, opts...)
+	}, nil
 }

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pwf/internal/obs"
 )
 
 func TestRunSchedule(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-mode", "schedule", "-workers", "2", "-ops", "2000"}, &buf); err != nil {
+	if err := run([]string{"-mode", "schedule", "-workers", "2", "-ops", "2000"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -19,13 +23,45 @@ func TestRunSchedule(t *testing.T) {
 	}
 }
 
+func TestRunScheduleTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.ndjson")
+	var buf bytes.Buffer
+	args := []string{"-mode", "schedule", "-workers", "2", "-ops", "1000", "-trace", path}
+	if err := run(args, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2*1000 {
+		t.Fatalf("got %d events, want %d", len(events), 2*1000)
+	}
+	for i, e := range events {
+		if e.Kind != obs.KindSched {
+			t.Fatalf("event %d: kind %v, want sched", i, e.Kind)
+		}
+		if e.Step != uint64(i)+1 {
+			t.Fatalf("event %d: step %d, want %d", i, e.Step, i+1)
+		}
+		if e.PID < 0 || e.PID > 1 {
+			t.Fatalf("event %d: pid %d out of range", i, e.PID)
+		}
+	}
+}
+
 func TestRunRateAllWorkloads(t *testing.T) {
 	for _, algo := range []string{"counter", "add", "stack", "queue"} {
 		algo := algo
 		t.Run(algo, func(t *testing.T) {
 			var buf bytes.Buffer
 			args := []string{"-mode", "rate", "-maxworkers", "2", "-ops", "2000", "-algo", algo}
-			if err := run(args, &buf); err != nil {
+			if err := run(args, &buf, &buf); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), "Figure 5") {
@@ -35,15 +71,52 @@ func TestRunRateAllWorkloads(t *testing.T) {
 	}
 }
 
+func TestRunRateMetrics(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-mode", "rate", "-maxworkers", "2", "-ops", "2000",
+		"-algo", "counter", "-metrics"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	snap := errOut.String()
+	for _, want := range []string{"native_counter_ops", "native_counter_retries"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var buf bytes.Buffer
+	args := []string{"-mode", "rate", "-maxworkers", "1", "-ops", "2000",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mode", "nope"},
 		{"-mode", "rate", "-algo", "nope"},
 		{"-mode", "schedule", "-workers", "0"},
+		{"-mode", "rate", "-trace", "x.ndjson"},
 		{"-badflag"},
 	} {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(args, &buf, &buf); err == nil {
 			t.Errorf("args %v: nil error", args)
 		}
 	}

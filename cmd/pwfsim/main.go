@@ -9,12 +9,21 @@
 //
 //	pwfsim -algo scu -n 16 -q 0 -s 1 -steps 1000000 -sched uniform
 //	pwfsim -algo fetchinc -n 1,2,4,8,16 -exact -json
+//	pwfsim -algo scu -n 4 -steps 100000 -trace run.ndjson -metrics
 //
 // Algorithms: scu (Algorithm 2), parallel (Algorithm 4),
 // fetchinc (Algorithm 5), unbounded (Algorithm 1), stack, queue,
 // rcu, list, hashset, lfuniversal, wfuniversal.
 // Schedulers: uniform, roundrobin, sticky:<rho>, lottery,
 // adversary:<victim>.
+//
+// Observability flags: -trace writes every step-level event
+// (scheduling decision, CAS outcome, retry, operation boundary,
+// crash, job lifecycle) as NDJSON; -metrics aggregates the same
+// events into wait-free counters and histograms and prints a JSON
+// snapshot — including the chain-cache hit/miss gauges — to stderr;
+// -debug-addr serves /metrics, /debug/vars and /debug/pprof over
+// HTTP; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -30,13 +41,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pwfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pwfsim", flag.ContinueOnError)
 	var (
 		algo      = fs.String("algo", "scu", "algorithm: scu, parallel, fetchinc, unbounded, stack, queue, rcu, list, hashset, lfuniversal, wfuniversal")
@@ -51,6 +62,11 @@ func run(args []string, out io.Writer) error {
 		exact     = fs.Bool("exact", false, "also compute the exact-chain system latency where tractable")
 		asJSON    = fs.Bool("json", false, "emit one JSON object per job instead of the text report")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+		traceFile = fs.String("trace", "", "write step-level telemetry events as NDJSON to this file")
+		metrics   = fs.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +88,32 @@ func run(args []string, out io.Writer) error {
 		warmupFraction = float64(*warmup) / float64(*steps)
 	}
 
+	if *debugAddr != "" {
+		bound, stop, err := pwf.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(errOut, "debug server listening on %s\n", bound)
+	}
+
+	// Assemble the telemetry pipeline: an NDJSON trace, an aggregating
+	// metrics recorder, or both fanned out through MultiRecorder.
+	var recorders []pwf.Recorder
+	var trace *pwf.TraceRecorder
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace = pwf.NewTraceRecorder(f)
+		recorders = append(recorders, trace)
+	}
+	if *metrics {
+		recorders = append(recorders, pwf.NewMetricsRecorder(nil))
+	}
+
 	jobs := make([]pwf.SweepJob, len(counts))
 	for i, n := range counts {
 		jobs[i] = pwf.SweepJob{
@@ -84,13 +126,28 @@ func run(args []string, out io.Writer) error {
 			Exact:          *exact,
 		}
 	}
-	results, err := pwf.RunSweep(pwf.SweepConfig{
-		Jobs:    jobs,
-		Seed:    *seed,
-		Workers: *workers,
+	var results []pwf.SweepResult
+	err = withProfiles(*cpuProf, *memProf, func() error {
+		var err error
+		results, err = pwf.RunSweep(pwf.SweepConfig{
+			Jobs:    jobs,
+			Seed:    *seed,
+			Workers: *workers,
+		}, pwf.WithSweepRecorder(pwf.MultiRecorder(recorders...)))
+		return err
 	})
+	if trace != nil {
+		if ferr := trace.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *metrics {
+		if err := pwf.DefaultRegistry().WriteJSON(errOut); err != nil {
+			return err
+		}
 	}
 
 	if *asJSON {
@@ -107,6 +164,34 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 		}
 		report(out, res)
+	}
+	return nil
+}
+
+// withProfiles brackets f with optional CPU and heap profiling.
+func withProfiles(cpu, mem string, f func() error) error {
+	if cpu != "" {
+		cf, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if mem != "" {
+		mf, err := os.Create(mem)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(mf)
 	}
 	return nil
 }

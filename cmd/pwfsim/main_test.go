@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pwf/internal/obs"
 )
 
 func TestRunAllAlgorithms(t *testing.T) {
@@ -20,7 +24,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 			if algo == "parallel" {
 				args = append(args, "-q", "3")
 			}
-			if err := run(args, &buf); err != nil {
+			if err := run(args, &buf, &buf); err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
@@ -37,7 +41,7 @@ func TestRunAllSchedulers(t *testing.T) {
 		t.Run(s, func(t *testing.T) {
 			t.Parallel()
 			var buf bytes.Buffer
-			if err := run([]string{"-sched", s, "-n", "4", "-steps", "20000"}, &buf); err != nil {
+			if err := run([]string{"-sched", s, "-n", "4", "-steps", "20000"}, &buf, &buf); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -46,14 +50,14 @@ func TestRunAllSchedulers(t *testing.T) {
 
 func TestRunWithCrashes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-n", "8", "-crash", "4", "-steps", "20000"}, &buf); err != nil {
+	if err := run([]string{"-n", "8", "-crash", "4", "-steps", "20000"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSweepMultipleN(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-algo", "fetchinc", "-n", "2,4,8", "-steps", "20000"}, &buf)
+	err := run([]string{"-algo", "fetchinc", "-n", "2,4,8", "-steps", "20000"}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +73,7 @@ func TestRunJSONEmitsOneObjectPerJob(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
 		"-algo", "scu", "-n", "2,4", "-steps", "20000", "-exact", "-json",
-	}, &buf)
+	}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +117,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		err := run([]string{
 			"-algo", "scu", "-n", "2,4,8", "-steps", "20000",
 			"-seed", "7", "-workers", workers,
-		}, &buf)
+		}, &buf, &buf)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,10 +131,10 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 
 func TestRunWarmupFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "5000"}, &buf); err != nil {
+	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "5000"}, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "20000"}, &buf); err == nil {
+	if err := run([]string{"-n", "4", "-steps", "20000", "-warmup", "20000"}, &buf, &buf); err == nil {
 		t.Error("warmup >= steps accepted")
 	}
 }
@@ -147,8 +151,113 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}
 	for _, args := range tests {
 		var buf bytes.Buffer
-		if err := run(append(args, "-steps", "100"), &buf); err == nil {
+		if err := run(append(args, "-steps", "100"), &buf, &buf); err == nil {
 			t.Errorf("args %v: nil error", args)
+		}
+	}
+}
+
+func TestRunTraceEmitsValidNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	var buf bytes.Buffer
+	args := []string{"-algo", "scu", "-n", "2", "-steps", "5000", "-trace", path}
+	if err := run(args, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheds, completes, jobStarts, jobEnds int
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSched:
+			scheds++
+		case obs.KindComplete:
+			completes++
+		case obs.KindJobStart:
+			jobStarts++
+		case obs.KindJobEnd:
+			jobEnds++
+		}
+	}
+	// The recorder observes the whole run: 5000 measured steps plus
+	// the default 10% warmup.
+	if scheds != 5500 {
+		t.Errorf("got %d sched events, want 5500", scheds)
+	}
+	if completes == 0 {
+		t.Error("no complete events recorded")
+	}
+	if jobStarts != 1 || jobEnds != 1 {
+		t.Errorf("job lifecycle events: %d starts, %d ends, want 1 each",
+			jobStarts, jobEnds)
+	}
+}
+
+func TestRunMetricsSnapshot(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-algo", "scu", "-n", "2", "-steps", "5000",
+		"-exact", "-metrics"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	snap := errOut.String()
+	for _, want := range []string{
+		"chain_cache_hits", "chain_cache_misses",
+		"sim_sched_steps", "sim_cas_attempts_per_op",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	var parsed struct {
+		Counters   map[string]uint64          `json:"counters"`
+		Gauges     map[string]uint64          `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(errOut.Bytes(), &parsed); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if parsed.Counters["sim_sched_steps"] == 0 {
+		t.Error("sim_sched_steps counter is zero")
+	}
+}
+
+func TestRunDebugAddrServesMetrics(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-algo", "scu", "-n", "2", "-steps", "2000",
+		"-debug-addr", "127.0.0.1:0"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "debug server listening on") {
+		t.Errorf("missing bound-address line:\n%s", errOut.String())
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var buf bytes.Buffer
+	args := []string{"-algo", "scu", "-n", "2", "-steps", "5000",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

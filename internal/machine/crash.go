@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pwf/internal/obs"
 	"pwf/internal/sched"
 )
 
@@ -58,6 +59,9 @@ func (s *Sim) applyDueCrashes() error {
 		}
 		if err := crasher.Crash(entry.PID); err != nil {
 			return fmt.Errorf("machine: crash pid %d at step %d: %w", entry.PID, entry.Step, err)
+		}
+		if s.rec != nil {
+			s.rec.Record(obs.Event{Kind: obs.KindCrash, Step: entry.Step, PID: entry.PID})
 		}
 	}
 	return nil

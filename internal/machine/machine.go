@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"pwf/internal/obs"
 	"pwf/internal/sched"
 	"pwf/internal/shmem"
 	"pwf/internal/stats"
@@ -71,6 +72,19 @@ type Sim struct {
 
 	// hook, when set, observes every completion event.
 	hook func(step uint64, pid int)
+
+	// rec, when non-nil, receives step-level telemetry events. Every
+	// emission site is guarded by a nil check so the disabled layer
+	// costs one predictable branch per step (see obs bench_test.go).
+	rec obs.Recorder
+
+	// Per-process telemetry state, allocated on first SetRecorder:
+	// CAS attempts in the current operation, whether an operation is
+	// in flight, and pending/accumulated retry bookkeeping.
+	opAttempts   []uint64
+	retryIter    []uint64
+	inOp         []bool
+	retryPending []bool
 
 	// crashPlan holds scheduled fail-stop crashes, sorted by step.
 	crashPlan []CrashPlanEntry
@@ -134,10 +148,52 @@ func (s *Sim) Step() error {
 		return fmt.Errorf("machine: schedule step %d: %w", s.steps, err)
 	}
 	s.steps++
+	if s.rec != nil {
+		return s.observedStep(pid)
+	}
 	if !s.procs[pid].Step(s.mem) {
 		return nil
 	}
 	s.recordCompletion(pid)
+	return nil
+}
+
+// observedStep is the traced twin of the Step hot path: it emits
+// scheduling, operation-begin, retry, CAS, and completion events
+// around the process step. CAS outcomes are recovered from the
+// memory's operation counters — the model guarantees exactly one
+// shared-memory operation per step, so the counter delta identifies
+// the operation kind without touching the algorithms.
+func (s *Sim) observedStep(pid int) error {
+	s.rec.Record(obs.Event{Kind: obs.KindSched, Step: s.steps, PID: pid})
+	if !s.inOp[pid] {
+		s.inOp[pid] = true
+		s.rec.Record(obs.Event{Kind: obs.KindBegin, Step: s.steps, PID: pid})
+	} else if s.retryPending[pid] {
+		s.retryPending[pid] = false
+		s.rec.Record(obs.Event{Kind: obs.KindRetry, Step: s.steps, PID: pid, Attempts: s.retryIter[pid]})
+	}
+
+	before := s.mem.Counters()
+	completed := s.procs[pid].Step(s.mem)
+	after := s.mem.Counters()
+	if after.CASes > before.CASes {
+		ok := after.CASFailures == before.CASFailures
+		s.opAttempts[pid]++
+		s.rec.Record(obs.Event{Kind: obs.KindCAS, Step: s.steps, PID: pid, OK: ok})
+		if !ok {
+			s.retryIter[pid]++
+			s.retryPending[pid] = true
+		}
+	}
+	if completed {
+		s.rec.Record(obs.Event{Kind: obs.KindComplete, Step: s.steps, PID: pid, Attempts: s.opAttempts[pid]})
+		s.opAttempts[pid] = 0
+		s.retryIter[pid] = 0
+		s.retryPending[pid] = false
+		s.inOp[pid] = false
+		s.recordCompletion(pid)
+	}
 	return nil
 }
 
@@ -170,6 +226,25 @@ func (s *Sim) recordCompletion(pid int) {
 // (system step number and completing process). Pass nil to remove the
 // hook. Package progress uses this to build histories.
 func (s *Sim) SetCompletionHook(fn func(step uint64, pid int)) { s.hook = fn }
+
+// SetRecorder installs r as the step-level telemetry sink: every
+// subsequent Step emits scheduling, operation-begin, CAS, retry,
+// completion, and crash events to it (see package obs for the event
+// schema). Passing nil or obs.Nop disables telemetry; the disabled
+// hooks cost a single branch per step.
+func (s *Sim) SetRecorder(r obs.Recorder) {
+	if r == obs.Nop {
+		r = nil
+	}
+	s.rec = r
+	if r != nil && s.opAttempts == nil {
+		n := len(s.procs)
+		s.opAttempts = make([]uint64, n)
+		s.retryIter = make([]uint64, n)
+		s.inOp = make([]bool, n)
+		s.retryPending = make([]bool, n)
+	}
+}
 
 // Run advances the simulation by steps time units.
 func (s *Sim) Run(steps uint64) error {

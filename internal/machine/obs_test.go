@@ -1,0 +1,181 @@
+package machine
+
+import (
+	"io"
+	"testing"
+
+	"pwf/internal/obs"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/shmem"
+)
+
+// casProc models the canonical lock-free retry loop: read the
+// register, then CAS it forward; a lost race costs one failed CAS and
+// another pass. One operation = one successful CAS.
+type casProc struct {
+	seen    int64
+	haveVal bool
+}
+
+func (p *casProc) Step(mem *shmem.Memory) bool {
+	if !p.haveVal {
+		p.seen = mem.Read(0)
+		p.haveVal = true
+		return false
+	}
+	ok := mem.CAS(0, p.seen, p.seen+1)
+	p.haveVal = false
+	return ok
+}
+
+// collector is a Recorder capturing every event in order.
+type collector struct{ events []obs.Event }
+
+func (c *collector) Record(e obs.Event) { c.events = append(c.events, e) }
+
+func newCASSim(t testing.TB, n int, rec obs.Recorder) *Sim {
+	t.Helper()
+	mem, err := shmem.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = &casProc{}
+	}
+	u, err := sched.NewUniform(n, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(mem, procs, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		s.SetRecorder(rec)
+	}
+	return s
+}
+
+func TestRecorderEventStream(t *testing.T) {
+	var c collector
+	s := newCASSim(t, 4, &c)
+	const steps = 10000
+	if err := s.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		scheds, begins, casOK, casFail, retries, completes int
+		attemptsFromCompletes                              uint64
+		lastStep                                           uint64
+	)
+	inOp := make(map[int]bool)
+	for i, e := range c.events {
+		switch e.Kind {
+		case obs.KindSched:
+			if e.Step != lastStep+1 {
+				t.Fatalf("event %d: sched step %d after %d", i, e.Step, lastStep)
+			}
+			lastStep = e.Step
+			scheds++
+		case obs.KindBegin:
+			if inOp[e.PID] {
+				t.Fatalf("event %d: begin while pid %d already in an op", i, e.PID)
+			}
+			inOp[e.PID] = true
+			begins++
+		case obs.KindCAS:
+			if e.OK {
+				casOK++
+			} else {
+				casFail++
+			}
+		case obs.KindRetry:
+			if e.Attempts == 0 {
+				t.Fatalf("event %d: retry with zero attempts", i)
+			}
+			retries++
+		case obs.KindComplete:
+			if !inOp[e.PID] {
+				t.Fatalf("event %d: complete outside an op for pid %d", i, e.PID)
+			}
+			inOp[e.PID] = false
+			completes++
+			attemptsFromCompletes += e.Attempts
+		}
+	}
+	if scheds != steps {
+		t.Errorf("%d sched events, want %d", scheds, steps)
+	}
+	if casFail == 0 || retries == 0 {
+		t.Errorf("uniform contention produced no failures/retries (fail=%d retry=%d)",
+			casFail, retries)
+	}
+	// Every completion is one successful CAS, and an op's Attempts
+	// counts all its CASes, so summed attempts = total CAS events for
+	// completed ops. Open ops at the end account for any difference.
+	if uint64(completes) != s.TotalCompletions() {
+		t.Errorf("%d complete events vs %d sim completions", completes, s.TotalCompletions())
+	}
+	if casOK != completes {
+		t.Errorf("%d CAS successes vs %d completions", casOK, completes)
+	}
+	if attemptsFromCompletes < uint64(casOK) {
+		t.Errorf("summed attempts %d below success count %d", attemptsFromCompletes, casOK)
+	}
+}
+
+func TestSetRecorderNopIsDisabled(t *testing.T) {
+	s := newCASSim(t, 2, nil)
+	s.SetRecorder(obs.Nop)
+	if s.rec != nil {
+		t.Fatal("obs.Nop was not normalized to the nil fast path")
+	}
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderCrashEvents(t *testing.T) {
+	var c collector
+	s := newCASSim(t, 4, &c)
+	if err := s.ScheduleCrash(50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	var crashes []obs.Event
+	for _, e := range c.events {
+		if e.Kind == obs.KindCrash {
+			crashes = append(crashes, e)
+		}
+	}
+	if len(crashes) != 1 || crashes[0].PID != 3 || crashes[0].Step != 50 {
+		t.Errorf("crash events = %+v, want one at step 50 for pid 3", crashes)
+	}
+}
+
+// benchSimStep measures the per-step cost with the given recorder; the
+// nil case is the pre-hook baseline the <5% overhead budget is judged
+// against.
+func benchSimStep(b *testing.B, rec obs.Recorder) {
+	s := newCASSim(b, 16, rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimStepNoRecorder(b *testing.B)  { benchSimStep(b, nil) }
+func BenchmarkSimStepNopRecorder(b *testing.B) { benchSimStep(b, obs.Nop) }
+func BenchmarkSimStepMetrics(b *testing.B) {
+	benchSimStep(b, obs.NewMetrics(obs.NewRegistry()))
+}
+func BenchmarkSimStepTraceDiscard(b *testing.B) {
+	benchSimStep(b, obs.NewTraceRecorder(io.Discard))
+}

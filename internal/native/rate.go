@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"pwf/internal/obs"
 )
 
 // RateResult reports a completion-rate measurement (Appendix B): the
@@ -80,9 +82,33 @@ func MeasureRate(workers, opsPerWorker int, makeOp func(worker int) Op) (RateRes
 	return res, nil
 }
 
+// RateOption configures one of the concrete Measure*Rate
+// measurements.
+type RateOption func(*rateConfig)
+
+type rateConfig struct {
+	stats *obs.OpStats
+}
+
+// WithOpStats instruments the measured structure with shared wait-free
+// per-operation telemetry (steps, retry distribution, CAS failures),
+// recorded concurrently by every worker.
+func WithOpStats(st *obs.OpStats) RateOption {
+	return func(c *rateConfig) { c.stats = st }
+}
+
+func applyRateOptions(opts []RateOption) rateConfig {
+	var cfg rateConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
 // MeasureCASCounterRate measures the CAS-loop counter of Appendix B.
-func MeasureCASCounterRate(workers, opsPerWorker int) (RateResult, error) {
+func MeasureCASCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
 	var c CASCounter
+	c.Instrument(applyRateOptions(opts).stats)
 	return MeasureRate(workers, opsPerWorker, func(int) Op {
 		return func() uint64 {
 			_, steps := c.Inc()
@@ -93,8 +119,9 @@ func MeasureCASCounterRate(workers, opsPerWorker int) (RateResult, error) {
 
 // MeasureAddCounterRate measures the wait-free fetch-and-add baseline
 // (rate exactly 1, independent of contention).
-func MeasureAddCounterRate(workers, opsPerWorker int) (RateResult, error) {
+func MeasureAddCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
 	var c AddCounter
+	c.Instrument(applyRateOptions(opts).stats)
 	return MeasureRate(workers, opsPerWorker, func(int) Op {
 		return func() uint64 {
 			_, steps := c.Inc()
@@ -105,8 +132,9 @@ func MeasureAddCounterRate(workers, opsPerWorker int) (RateResult, error) {
 
 // MeasureStackRate measures a Treiber stack under an alternating
 // push/pop workload.
-func MeasureStackRate(workers, opsPerWorker int) (RateResult, error) {
+func MeasureStackRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
 	var s Stack[int]
+	s.Instrument(applyRateOptions(opts).stats)
 	return MeasureRate(workers, opsPerWorker, func(w int) Op {
 		push := true
 		return func() uint64 {
@@ -124,8 +152,9 @@ func MeasureStackRate(workers, opsPerWorker int) (RateResult, error) {
 
 // MeasureQueueRate measures a Michael–Scott queue under an
 // alternating enqueue/dequeue workload.
-func MeasureQueueRate(workers, opsPerWorker int) (RateResult, error) {
+func MeasureQueueRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
 	q := NewQueue[int]()
+	q.Instrument(applyRateOptions(opts).stats)
 	return MeasureRate(workers, opsPerWorker, func(w int) Op {
 		enq := true
 		return func() uint64 {

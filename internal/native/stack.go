@@ -1,14 +1,25 @@
 package native
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"pwf/internal/obs"
+)
 
 // Stack is a Treiber stack [21] on real atomics. Node reclamation is
 // handled by the Go garbage collector, which is exactly the setting
 // the paper's class SCU models (no ABA: a node address cannot be
 // reused while any goroutine still references it).
 type Stack[T any] struct {
-	top atomic.Pointer[stackNode[T]]
+	top   atomic.Pointer[stackNode[T]]
+	stats *obs.OpStats
 }
+
+// Instrument attaches wait-free per-operation telemetry (steps, retry
+// distribution, CAS failures) shared by every goroutine using the
+// stack. Pass nil to detach. Not safe to call concurrently with
+// Push/Pop.
+func (s *Stack[T]) Instrument(st *obs.OpStats) { s.stats = st }
 
 type stackNode[T any] struct {
 	value T
@@ -19,34 +30,47 @@ type stackNode[T any] struct {
 // shared-memory steps taken (one read plus one CAS per attempt).
 func (s *Stack[T]) Push(v T) (steps uint64) {
 	n := &stackNode[T]{value: v}
+	var fails uint64
 	for {
 		top := s.top.Load()
 		steps++
 		n.next = top
 		if s.top.CompareAndSwap(top, n) {
 			steps++
+			if s.stats != nil {
+				s.stats.ObserveOp(steps, fails)
+			}
 			return steps
 		}
 		steps++
+		fails++
 	}
 }
 
 // Pop removes and returns the top value; ok is false when the stack
 // is empty. steps counts shared-memory operations.
 func (s *Stack[T]) Pop() (v T, ok bool, steps uint64) {
+	var fails uint64
 	for {
 		top := s.top.Load()
 		steps++
 		if top == nil {
+			if s.stats != nil {
+				s.stats.ObserveOp(steps, fails)
+			}
 			return v, false, steps
 		}
 		next := top.next
 		steps++ // reading top.next touches shared memory
 		if s.top.CompareAndSwap(top, next) {
 			steps++
+			if s.stats != nil {
+				s.stats.ObserveOp(steps, fails)
+			}
 			return top.value, true, steps
 		}
 		steps++
+		fails++
 	}
 }
 

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a wait-free monotonic event counter. Inc and Add are
+// single hardware fetch-and-add instructions — the wait-free
+// primitive the paper's Appendix B measures — so recording into a
+// shared Counter from many goroutines completes in a bounded number
+// of steps regardless of contention. The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// histBuckets is one bucket per possible bit length of a uint64 (0
+// through 64): bucket 0 holds the value 0, bucket k >= 1 holds values
+// in [2^(k-1), 2^k).
+const histBuckets = 65
+
+// Histogram is a wait-free log-bucketed histogram of uint64
+// observations: bucket k counts values with bit length k, i.e.
+// power-of-two ranges. Observe is three atomic adds — no locks, no
+// CAS loops — so it is safe and wait-free from any number of
+// goroutines. The zero value is ready to use.
+//
+// Log bucketing matches the quantities recorded here (retry counts,
+// steps per operation, inter-completion gaps), whose interesting
+// structure is multiplicative: the paper's completion-time tails decay
+// geometrically (Theorem 3), so constant relative resolution is the
+// right trade against a fixed 65-counter footprint.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi]
+// inclusive.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, shaped
+// for JSON export. Concurrent Observes may land between bucket reads,
+// so Count can differ from the bucket total by in-flight updates; each
+// individual value is monotone and exact.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for k := 0; k < histBuckets; k++ {
+		c := h.buckets[k].Load()
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: bucketLo(k), Hi: bucketHi(k), Count: c})
+	}
+	return s
+}
+
+func bucketLo(k int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	return 1 << (k - 1)
+}
+
+func bucketHi(k int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	if k == 64 {
+		return math.MaxUint64
+	}
+	return 1<<k - 1
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucketed
+// counts, interpolating linearly within the containing bucket. With no
+// observations it returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen float64
+	for _, b := range s.Buckets {
+		c := float64(b.Count)
+		if seen+c >= rank {
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - seen) / c
+			}
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		seen += c
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	return float64(last.Hi)
+}
+
+// Max returns an upper bound on the largest observation: the top edge
+// of the highest non-empty bucket (0 with no observations).
+func (s HistogramSnapshot) Max() uint64 {
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return s.Buckets[len(s.Buckets)-1].Hi
+}
+
+// OpStats aggregates per-operation telemetry for a native concurrent
+// structure: the operation count, the distribution of shared-memory
+// steps per operation, the distribution of retry-loop iterations per
+// operation, and the total number of failed CAS attempts. All fields
+// are wait-free atomics, so one OpStats may be shared by every worker
+// goroutine hammering a structure.
+type OpStats struct {
+	Ops         Counter
+	CASFailures Counter
+	Retries     Histogram
+	Steps       Histogram
+}
+
+// ObserveOp records one completed operation that took steps
+// shared-memory steps and retried retries times (one retry == one
+// extra pass through the operation's loop, i.e. one failed CAS or one
+// helping detour).
+func (s *OpStats) ObserveOp(steps, retries uint64) {
+	s.Ops.Inc()
+	s.Steps.Observe(steps)
+	s.Retries.Observe(retries)
+	if retries > 0 {
+		s.CASFailures.Add(retries)
+	}
+}
+
+// Register names the stats' fields on reg under prefix: <prefix>_ops,
+// <prefix>_cas_failures, <prefix>_retries, <prefix>_steps.
+func (s *OpStats) Register(reg *Registry, prefix string) {
+	reg.RegisterCounter(prefix+"_ops", &s.Ops)
+	reg.RegisterCounter(prefix+"_cas_failures", &s.CASFailures)
+	reg.RegisterHistogram(prefix+"_retries", &s.Retries)
+	reg.RegisterHistogram(prefix+"_steps", &s.Steps)
+}
+
+// Metrics is a Recorder that aggregates simulator events into
+// wait-free registry metrics instead of (or alongside) tracing them.
+// It keeps no per-event mutable state beyond the atomics, so one
+// Metrics may serve every job of a parallel sweep concurrently.
+type Metrics struct {
+	SchedSteps   *Counter
+	Begins       *Counter
+	CASSuccesses *Counter
+	CASFailures  *Counter
+	Retries      *Counter
+	Completions  *Counter
+	Crashes      *Counter
+	// AttemptsPerOp is the distribution of CAS attempts per completed
+	// operation — the simulator-side retry histogram.
+	AttemptsPerOp *Histogram
+}
+
+// NewMetrics returns a Metrics recorder backed by reg under the sim_*
+// namespace. Calling it twice with the same registry yields recorders
+// sharing the same underlying metrics.
+func NewMetrics(reg *Registry) *Metrics {
+	return &Metrics{
+		SchedSteps:    reg.Counter("sim_sched_steps"),
+		Begins:        reg.Counter("sim_op_begins"),
+		CASSuccesses:  reg.Counter("sim_cas_successes"),
+		CASFailures:   reg.Counter("sim_cas_failures"),
+		Retries:       reg.Counter("sim_retries"),
+		Completions:   reg.Counter("sim_completions"),
+		Crashes:       reg.Counter("sim_crashes"),
+		AttemptsPerOp: reg.Histogram("sim_cas_attempts_per_op"),
+	}
+}
+
+// Record implements Recorder.
+func (m *Metrics) Record(e Event) {
+	switch e.Kind {
+	case KindSched:
+		m.SchedSteps.Inc()
+	case KindBegin:
+		m.Begins.Inc()
+	case KindCAS:
+		if e.OK {
+			m.CASSuccesses.Inc()
+		} else {
+			m.CASFailures.Inc()
+		}
+	case KindRetry:
+		m.Retries.Inc()
+	case KindComplete:
+		m.Completions.Inc()
+		m.AttemptsPerOp.Observe(e.Attempts)
+	case KindCrash:
+		m.Crashes.Inc()
+	}
+}

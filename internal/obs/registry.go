@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+)
+
+// Registry names counters, histograms, and gauges, and snapshots them
+// all at once for JSON or expvar export. Lookup (get-or-create) takes
+// a mutex, so hot paths should resolve their metric pointers once, up
+// front, and then update the returned wait-free atomics directly —
+// the pattern NewMetrics and OpStats.Register follow.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() uint64),
+	}
+}
+
+// Default is the process-wide registry. The sweep engine's chain
+// cache publishes here, and the CLIs snapshot it for -metrics.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it if needed. Counters,
+// histograms, and gauges live in separate namespaces.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterCounter publishes an externally owned counter under name,
+// replacing any previous registration.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// RegisterHistogram publishes an externally owned histogram under
+// name, replacing any previous registration.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
+// Gauge publishes a live value under name: fn is invoked at snapshot
+// time. Use it for values owned elsewhere, like the chain cache's
+// hit/miss counters.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Snapshot is a point-in-time copy of every registered metric,
+// marshalable to JSON (map keys sort, so output is stable).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]uint64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. Values are
+// read individually (each is exact and monotone); the set is not a
+// consistent cut across metrics under concurrent updates.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]uint64, len(r.gauges))
+		for name, fn := range r.gauges {
+			s.Gauges[name] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// expvarPublished guards against double expvar.Publish (which
+// panics): each name is published at most once per process.
+var expvarPublished sync.Map
+
+// PublishExpvar exposes the registry's snapshot as the named expvar
+// (visible at /debug/vars). Publishing the same name twice — even
+// from different registries — is a no-op after the first call.
+func (r *Registry) PublishExpvar(name string) {
+	if _, loaded := expvarPublished.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,106 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pwf/internal/machine"
+	"pwf/internal/obs"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+	"pwf/internal/shmem"
+)
+
+// buildSCUSim assembles an SCU(0,1) simulator over n processes with
+// the given scheduler, tracing into w.
+func buildSCUSim(t *testing.T, n int, sch sched.Scheduler, w *bytes.Buffer) (*machine.Sim, *obs.TraceRecorder) {
+	t.Helper()
+	mem, err := shmem.New(scu.SCULayout(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := scu.NewSCUGroup(n, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := machine.New(mem, procs, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTraceRecorder(w)
+	sim.SetRecorder(tr)
+	return sim, tr
+}
+
+// TestTraceReplayRoundTrip is the acceptance test for the trace
+// format: record a stochastic run's schedule to NDJSON, feed the
+// recovered schedule through sched.Replay on a fresh identical
+// workload, and require the replayed run to reproduce the original
+// history event for event.
+func TestTraceReplayRoundTrip(t *testing.T) {
+	const (
+		n     = 4
+		steps = 20000
+		seed  = 42
+	)
+
+	uni, err := sched.NewUniform(n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig bytes.Buffer
+	sim, tr := buildSCUSim(t, n, uni, &orig)
+	if err := sim.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	origBytes := append([]byte(nil), orig.Bytes()...)
+
+	events, err := obs.ReadEvents(&orig)
+	if err != nil {
+		t.Fatalf("recorded trace is not valid NDJSON: %v", err)
+	}
+
+	// Recover the interleaving from the sched events.
+	var trace []int32
+	for _, e := range events {
+		if e.Kind == obs.KindSched {
+			trace = append(trace, int32(e.PID))
+		}
+	}
+	if len(trace) != steps {
+		t.Fatalf("recovered %d sched events, want %d", len(trace), steps)
+	}
+
+	replay, err := sched.NewReplay(n, trace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	sim2, tr2 := buildSCUSim(t, n, replay, &rep)
+	if err := sim2.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The model is deterministic given the schedule, so the replayed
+	// run must reproduce the original trace byte for byte: same CAS
+	// outcomes, same retries, same completions at the same steps.
+	if !bytes.Equal(origBytes, rep.Bytes()) {
+		t.Fatal("replayed trace differs from the original")
+	}
+
+	for pid := 0; pid < n; pid++ {
+		if a, b := sim.Completions()[pid], sim2.Completions()[pid]; a != b {
+			t.Errorf("pid %d: completions %d (original) vs %d (replay)", pid, a, b)
+		}
+	}
+	if sim.TotalCompletions() == 0 {
+		t.Fatal("degenerate run: no completions")
+	}
+}

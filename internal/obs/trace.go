@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// wireEvent is the NDJSON representation of an Event. Pointer fields
+// distinguish "absent" from zero values (pid 0 and step 0 are both
+// meaningful), so a round trip through the wire format is lossless
+// for the fields a kind defines.
+type wireEvent struct {
+	Kind      string  `json:"kind"`
+	Step      *uint64 `json:"step,omitempty"`
+	PID       *int    `json:"pid,omitempty"`
+	OK        *bool   `json:"ok,omitempty"`
+	Attempts  *uint64 `json:"attempts,omitempty"`
+	Job       *int    `json:"job,omitempty"`
+	Label     string  `json:"label,omitempty"`
+	ElapsedNS *int64  `json:"elapsed_ns,omitempty"`
+}
+
+// MarshalJSON renders the event in the NDJSON wire schema, emitting
+// only the fields its kind defines (see the Kind constants).
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := wireEvent{Kind: e.Kind.String()}
+	switch e.Kind {
+	case KindSched, KindBegin, KindCrash:
+		w.Step, w.PID = &e.Step, &e.PID
+	case KindCAS:
+		w.Step, w.PID, w.OK = &e.Step, &e.PID, &e.OK
+	case KindRetry, KindComplete:
+		w.Step, w.PID, w.Attempts = &e.Step, &e.PID, &e.Attempts
+	case KindJobStart:
+		w.Job, w.Label = &e.Job, e.Label
+	case KindJobEnd:
+		w.Job, w.Label, w.ElapsedNS = &e.Job, e.Label, &e.ElapsedNS
+	default:
+		return nil, fmt.Errorf("obs: marshal unknown event kind %d", e.Kind)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses one wire-format event.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w wireEvent
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	k, err := ParseKind(w.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{Kind: k, Label: w.Label}
+	if w.Step != nil {
+		e.Step = *w.Step
+	}
+	if w.PID != nil {
+		e.PID = *w.PID
+	}
+	if w.OK != nil {
+		e.OK = *w.OK
+	}
+	if w.Attempts != nil {
+		e.Attempts = *w.Attempts
+	}
+	if w.Job != nil {
+		e.Job = *w.Job
+	}
+	if w.ElapsedNS != nil {
+		e.ElapsedNS = *w.ElapsedNS
+	}
+	return nil
+}
+
+// TraceRecorder writes every event as one NDJSON line. It buffers
+// internally; call Flush (or Close) when the run is over. Record is
+// serialized by a mutex, so one TraceRecorder may receive events from
+// every worker of a sweep — within a job events appear in simulation
+// order, while events of concurrently executing jobs interleave.
+type TraceRecorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTraceRecorder returns a recorder writing NDJSON to w.
+func NewTraceRecorder(w io.Writer) *TraceRecorder {
+	return &TraceRecorder{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Record implements Recorder. The first write or marshal error is
+// sticky: subsequent events are dropped and the error is reported by
+// Flush.
+func (t *TraceRecorder) Record(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error encountered by
+// any Record or flush so far.
+func (t *TraceRecorder) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadEvents parses an NDJSON event stream (as written by
+// TraceRecorder) back into events, preserving order. Blank lines are
+// skipped; any malformed line is an error naming its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	return out, nil
+}

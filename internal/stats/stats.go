@@ -61,13 +61,46 @@ func (s *Summary) Min() float64 { return s.min }
 // Max returns the largest observation (0 if no data).
 func (s *Summary) Max() float64 { return s.max }
 
+// Merge incorporates the observations of o into s, as if every sample
+// added to o had been added to s directly (Chan et al.'s parallel
+// combination of Welford accumulators). It lets per-worker summaries
+// be reduced without reprocessing the raw samples.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	tot := n1 + n2
+	delta := o.mean - s.mean
+	s.mean += delta * n2 / tot
+	s.m2 += o.m2 + delta*delta*n1*n2/tot
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // Variance returns the unbiased sample variance (0 for fewer than two
 // observations).
 func (s *Summary) Variance() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	return s.m2 / float64(s.n-1)
+	v := s.m2 / float64(s.n-1)
+	if v < 0 {
+		// Welford keeps m2 non-negative analytically, but catastrophic
+		// cancellation can drive it fractionally below zero; clamping
+		// here keeps StdDev from returning NaN.
+		return 0
+	}
+	return v
 }
 
 // StdDev returns the sample standard deviation.

@@ -373,3 +373,86 @@ func BenchmarkPowerFit(b *testing.B) {
 		}
 	}
 }
+
+func TestSummaryDegenerateMomentsAreFiniteZero(t *testing.T) {
+	// Regression: every moment estimator must return 0 — never NaN —
+	// for n < 2, so downstream JSON encoding and report formatting
+	// never see NaN.
+	check := func(name string, s *Summary) {
+		t.Helper()
+		for label, got := range map[string]float64{
+			"Variance": s.Variance(),
+			"StdDev":   s.StdDev(),
+			"StdErr":   s.StdErr(),
+			"CI95":     s.ConfidenceInterval95(),
+		} {
+			if math.IsNaN(got) {
+				t.Errorf("%s: %s is NaN", name, label)
+			}
+			if got != 0 {
+				t.Errorf("%s: %s = %v, want 0", name, label, got)
+			}
+		}
+	}
+	var empty Summary
+	check("empty", &empty)
+	var single Summary
+	single.Add(42)
+	check("single", &single)
+}
+
+func TestSummaryVarianceClampsNegativeM2(t *testing.T) {
+	// Catastrophic cancellation can push m2 fractionally below zero;
+	// the clamp keeps StdDev out of NaN territory.
+	s := Summary{n: 3, mean: 1e9, m2: -1e-7}
+	if v := s.Variance(); v != 0 {
+		t.Errorf("Variance = %v, want 0", v)
+	}
+	if sd := s.StdDev(); math.IsNaN(sd) || sd != 0 {
+		t.Errorf("StdDev = %v, want 0", sd)
+	}
+}
+
+func TestSummaryMergeMatchesAddAll(t *testing.T) {
+	r := rng.New(99)
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = r.Float64()*100 - 50
+	}
+	for _, split := range []int{0, 1, 250, 500, 501} {
+		var a, b, whole Summary
+		a.AddAll(xs[:split])
+		b.AddAll(xs[split:])
+		whole.AddAll(xs)
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+			t.Errorf("split %d: Mean = %v, want %v", split, a.Mean(), whole.Mean())
+		}
+		if !almostEqual(a.Variance(), whole.Variance(), 1e-7) {
+			t.Errorf("split %d: Variance = %v, want %v", split, a.Variance(), whole.Variance())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: min/max = %v/%v, want %v/%v",
+				split, a.Min(), a.Max(), whole.Min(), whole.Max())
+		}
+	}
+}
+
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var empty Summary
+	var s Summary
+	s.AddAll([]float64{1, 2, 3})
+	want := s
+	s.Merge(empty)
+	if s != want {
+		t.Errorf("merging empty changed the summary: %+v != %+v", s, want)
+	}
+	var dst Summary
+	dst.Merge(want)
+	if dst != want {
+		t.Errorf("merge into empty: %+v != %+v", dst, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pwf/internal/chains"
+	"pwf/internal/obs"
 )
 
 // ChainCache memoizes the expensive exact-chain constructions of
@@ -40,8 +41,20 @@ func NewChainCache() *ChainCache {
 
 // DefaultCache is the process-wide shared cache used when a Config
 // does not provide its own. Sharing it across sweeps, drivers and
-// CLIs means a chain built for one figure is reused by the next.
+// CLIs means a chain built for one figure is reused by the next. Its
+// hit/miss counters are published on obs.Default as the
+// chain_cache_hits / chain_cache_misses gauges.
 var DefaultCache = NewChainCache()
+
+func init() { DefaultCache.Publish(obs.Default, "chain_cache") }
+
+// Publish registers the cache's hit/miss counters on reg as live
+// gauges named <prefix>_hits and <prefix>_misses, read at snapshot
+// time.
+func (c *ChainCache) Publish(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+"_hits", c.Hits)
+	reg.Gauge(prefix+"_misses", c.Misses)
+}
 
 // get returns the entry for key, building it at most once.
 func (c *ChainCache) get(key string, build func() (*chains.Analysis, []int, error)) (*chains.Analysis, []int, error) {

@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pwf/internal/obs"
+)
+
+// lockedCollector is a concurrency-safe event sink for tests.
+type lockedCollector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *lockedCollector) Record(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func TestSweepEmitsJobLifecycleEvents(t *testing.T) {
+	jobs := []Job{
+		{Workload: Workload{Kind: SCU, S: 1}, N: 2, Steps: 2000, Label: "a"},
+		{Workload: Workload{Kind: FetchInc}, N: 2, Steps: 2000, Label: "b"},
+		{Workload: Workload{Kind: SCU, S: 1}, N: 3, Steps: 2000, Label: "c"},
+	}
+	var c lockedCollector
+	if _, err := Run(Config{Jobs: jobs, Seed: 1, Recorder: &c, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	starts := map[int]string{}
+	ends := map[int]bool{}
+	var scheds int
+	for _, e := range c.events {
+		switch e.Kind {
+		case obs.KindJobStart:
+			starts[e.Job] = e.Label
+		case obs.KindJobEnd:
+			if e.ElapsedNS <= 0 {
+				t.Errorf("job %d ended with elapsed %d", e.Job, e.ElapsedNS)
+			}
+			ends[e.Job] = true
+		case obs.KindSched:
+			scheds++
+		}
+	}
+	if len(starts) != len(jobs) || len(ends) != len(jobs) {
+		t.Fatalf("lifecycle events for %d/%d jobs, want %d", len(starts), len(ends), len(jobs))
+	}
+	for i, job := range jobs {
+		if starts[i] != job.Label {
+			t.Errorf("job %d started with label %q, want %q", i, starts[i], job.Label)
+		}
+	}
+	if scheds == 0 {
+		t.Error("no step events forwarded from the jobs")
+	}
+}
+
+// TestSweepSharedTraceRecorderIsRaceClean funnels every concurrent
+// job's events through one TraceRecorder; -race validates the
+// serialization.
+func TestSweepSharedTraceRecorderIsRaceClean(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTraceRecorder(&buf)
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Workload: Workload{Kind: SCU, S: 1}, N: 2, Steps: 2000}
+	}
+	if _, err := Run(Config{Jobs: jobs, Seed: 1, Recorder: tr, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("interleaved trace is not valid NDJSON: %v", err)
+	}
+	if len(events) < 4*2000 {
+		t.Errorf("only %d events for 4 jobs of 2000 steps", len(events))
+	}
+}
+
+func TestResultsUnaffectedByRecorder(t *testing.T) {
+	job := Job{Workload: Workload{Kind: SCU, S: 1}, N: 4, Steps: 20000}
+	plain, err := RunJob(job, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Recorder = obs.NewTraceRecorder(&bytes.Buffer{})
+	traced, err := RunJob(job, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Latencies != traced.Latencies {
+		t.Errorf("telemetry changed the results: %+v vs %+v",
+			plain.Latencies, traced.Latencies)
+	}
+}

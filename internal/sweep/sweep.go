@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pwf/internal/machine"
+	"pwf/internal/obs"
 	"pwf/internal/rng"
 	"pwf/internal/sched"
 )
@@ -74,6 +75,13 @@ type Job struct {
 	// executing the job; they must not share mutable state with other
 	// jobs' hooks unless synchronized.
 	CompletionHook func(step uint64, pid int) `json:"-"`
+
+	// Recorder, when non-nil, receives the job's step-level telemetry
+	// events (package obs): scheduling decisions, CAS outcomes,
+	// retries, operation boundaries, crash injections. Inside a sweep
+	// the recorder is shared across workers, so it must be safe for
+	// concurrent use (obs.TraceRecorder and obs.Metrics are).
+	Recorder obs.Recorder `json:"-"`
 }
 
 // DefaultWarmupFraction is the conventional warmup used by the paper
@@ -146,6 +154,12 @@ type Config struct {
 	// the number of completed jobs and the total. Calls are serialized
 	// but may come from any worker, in completion order.
 	Progress func(done, total int)
+	// Recorder, when non-nil, receives per-job lifecycle events
+	// (obs.KindJobStart/KindJobEnd) and the step-level telemetry of
+	// every job that does not set its own Job.Recorder. It must be
+	// safe for concurrent use; events from concurrently executing jobs
+	// interleave.
+	Recorder obs.Recorder
 }
 
 // Run executes the sweep and returns one result per job, in input
@@ -186,8 +200,21 @@ func Run(cfg Config) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := RunJob(cfg.Jobs[i], rng.Stream(cfg.Seed, uint64(i)), cache)
+				job := cfg.Jobs[i]
+				if job.Recorder == nil {
+					job.Recorder = cfg.Recorder
+				}
+				if cfg.Recorder != nil {
+					cfg.Recorder.Record(obs.Event{Kind: obs.KindJobStart, Job: i, Label: job.Label})
+				}
+				res, err := RunJob(job, rng.Stream(cfg.Seed, uint64(i)), cache)
 				res.Index = i
+				if cfg.Recorder != nil {
+					cfg.Recorder.Record(obs.Event{
+						Kind: obs.KindJobEnd, Job: i, Label: job.Label,
+						ElapsedNS: res.Elapsed.Nanoseconds(),
+					})
+				}
 				results[i], errs[i] = res, err
 				mu.Lock()
 				done++
@@ -245,6 +272,10 @@ func RunJob(job Job, seed uint64, cache *ChainCache) (Result, error) {
 			if err := crasher.Crash(pid); err != nil {
 				return Result{}, fmt.Errorf("sweep: crash process %d: %w", pid, err)
 			}
+			if job.Recorder != nil {
+				// Pre-run crashes take effect before step 1.
+				job.Recorder.Record(obs.Event{Kind: obs.KindCrash, Step: 0, PID: pid})
+			}
 		}
 	}
 	b, err := job.Workload.build(job.N)
@@ -257,6 +288,9 @@ func RunJob(job Job, seed uint64, cache *ChainCache) (Result, error) {
 	}
 	if job.CompletionHook != nil {
 		sim.SetCompletionHook(job.CompletionHook)
+	}
+	if job.Recorder != nil {
+		sim.SetRecorder(job.Recorder)
 	}
 
 	res := Result{

@@ -1,0 +1,100 @@
+package pwf
+
+import (
+	"io"
+
+	"pwf/internal/obs"
+	"pwf/internal/sweep"
+)
+
+// Telemetry layer (package obs) — re-exported as the supported public
+// surface. The layer is wait-free by construction: counters and
+// histograms are pure fetch-and-add, the primitive the paper's
+// Appendix B measures, so recording from instrumented hot loops never
+// blocks and never downgrades the progress property under study.
+type (
+	// Recorder observes structured telemetry events; implementations
+	// shared across sweep workers must be safe for concurrent use.
+	Recorder = obs.Recorder
+	// Event is one telemetry event (scheduling decision, CAS outcome,
+	// retry, operation boundary, crash, job lifecycle).
+	Event = obs.Event
+	// EventKind discriminates Event payloads.
+	EventKind = obs.Kind
+	// Registry names wait-free counters, histograms, and gauges, and
+	// snapshots them to JSON or expvar.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Registry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceRecorder writes events as NDJSON, one per line.
+	TraceRecorder = obs.TraceRecorder
+	// MetricsRecorder aggregates simulator events into registry
+	// metrics (sim_* counters and the CAS-attempts histogram).
+	MetricsRecorder = obs.Metrics
+	// OpStats is shared wait-free per-operation telemetry for the
+	// native structures (steps, retries, CAS failures).
+	OpStats = obs.OpStats
+	// AtomicCounter is a wait-free monotonic counter.
+	AtomicCounter = obs.Counter
+	// AtomicHistogram is a wait-free log-bucketed histogram.
+	AtomicHistogram = obs.Histogram
+)
+
+// Event kinds, re-exported.
+const (
+	EventSched    = obs.KindSched
+	EventBegin    = obs.KindBegin
+	EventCAS      = obs.KindCAS
+	EventRetry    = obs.KindRetry
+	EventComplete = obs.KindComplete
+	EventCrash    = obs.KindCrash
+	EventJobStart = obs.KindJobStart
+	EventJobEnd   = obs.KindJobEnd
+)
+
+// DefaultRegistry returns the process-wide metrics registry. The
+// sweep engine's chain cache publishes its hit/miss gauges here, and
+// the CLIs snapshot it for -metrics.
+func DefaultRegistry() *Registry { return obs.Default }
+
+// NewTraceRecorder returns a Recorder writing NDJSON events to w;
+// call Flush when the run is over. Parse traces back with
+// ReadTraceEvents.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return obs.NewTraceRecorder(w) }
+
+// NewMetricsRecorder returns a Recorder aggregating simulator events
+// into reg (nil selects DefaultRegistry).
+func NewMetricsRecorder(reg *Registry) *MetricsRecorder {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return obs.NewMetrics(reg)
+}
+
+// MultiRecorder fans events out to several recorders; nil entries are
+// dropped and nil is returned when none remain.
+func MultiRecorder(rs ...Recorder) Recorder { return obs.Multi(rs...) }
+
+// ReadTraceEvents parses an NDJSON trace (as written by
+// TraceRecorder) back into events, preserving order.
+func ReadTraceEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+
+// ServeDebug starts an HTTP listener on addr exposing /metrics (the
+// registry snapshot), /debug/vars (expvar), and /debug/pprof. It
+// returns the bound address and a stop function.
+func ServeDebug(addr string, reg *Registry) (bound string, stop func() error, err error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return obs.ServeDebug(addr, reg)
+}
+
+// ChainCache memoizes exact-chain analyses; see SweepConfig.Cache.
+type ChainCache = sweep.ChainCache
+
+// PublishChainCacheMetrics registers cache's hit/miss gauges on reg
+// under prefix (the default cache is already published on
+// DefaultRegistry as chain_cache_*).
+func PublishChainCacheMetrics(cache *ChainCache, reg *Registry, prefix string) {
+	cache.Publish(reg, prefix)
+}

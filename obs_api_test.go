@@ -1,0 +1,75 @@
+package pwf_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pwf"
+)
+
+func TestRunWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(10000))
+	lat, err := pwf.Run(cfg, pwf.WithTrace(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	events, err := pwf.ReadTraceEvents(&buf)
+	if err != nil {
+		t.Fatalf("trace is not valid NDJSON: %v", err)
+	}
+	var completes uint64
+	for _, e := range events {
+		if e.Kind == pwf.EventComplete {
+			completes++
+		}
+	}
+	// The trace covers warmup + measurement while Latencies covers only
+	// the measurement window, so the trace must see at least as many.
+	if completes < lat.Completions {
+		t.Errorf("trace has %d complete events, latencies report %d",
+			completes, lat.Completions)
+	}
+}
+
+func TestRunWithRecorderMetrics(t *testing.T) {
+	reg := pwf.DefaultRegistry()
+	before := reg.Snapshot().Counters["sim_completions"]
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(10000))
+	if _, err := pwf.Run(cfg, pwf.WithRecorder(pwf.NewMetricsRecorder(nil))); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot().Counters["sim_completions"]
+	if after <= before {
+		t.Errorf("sim_completions did not advance: %d -> %d", before, after)
+	}
+}
+
+func TestRunSweepWithSweepTrace(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []pwf.SweepJob{
+		{Workload: pwf.SCUWorkload(0, 1), N: 2, Steps: 5000},
+		{Workload: pwf.FetchIncWorkload(), N: 2, Steps: 5000},
+	}
+	_, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1},
+		pwf.WithSweepTrace(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pwf.ReadTraceEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobEnds := 0
+	for _, e := range events {
+		if e.Kind == pwf.EventJobEnd {
+			jobEnds++
+		}
+	}
+	if jobEnds != len(jobs) {
+		t.Errorf("%d job_end events, want %d", jobEnds, len(jobs))
+	}
+}

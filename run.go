@@ -2,7 +2,9 @@ package pwf
 
 import (
 	"fmt"
+	"io"
 
+	"pwf/internal/obs"
 	"pwf/internal/sweep"
 )
 
@@ -89,6 +91,9 @@ type RunConfig struct {
 	Seed uint64
 	// Scheduler selects the scheduler model.
 	Scheduler SchedulerSpec
+	// Recorder, when non-nil, receives the run's step-level telemetry
+	// events (package obs semantics; see WithRecorder/WithTrace).
+	Recorder Recorder
 }
 
 // Default measurement settings of NewRunConfig.
@@ -123,6 +128,23 @@ func WithWarmupFraction(f float64) RunOption {
 // WithSeed sets the rng seed (default: DefaultSeed).
 func WithSeed(seed uint64) RunOption {
 	return func(c *RunConfig) { c.Seed = seed }
+}
+
+// WithRecorder attaches a step-level telemetry recorder: the run
+// emits scheduling, CAS, retry, operation-boundary, and crash events
+// to it (default: none; the disabled hooks cost one branch per step).
+// Combine sinks with MultiRecorder.
+func WithRecorder(r Recorder) RunOption {
+	return func(c *RunConfig) { c.Recorder = r }
+}
+
+// WithTrace records the run's events as NDJSON to w, one event per
+// line (a convenience over WithRecorder(NewTraceRecorder(w)); the
+// trace is flushed when Run returns). It replaces any previously set
+// recorder — to trace and aggregate metrics at once, compose
+// explicitly with MultiRecorder.
+func WithTrace(w io.Writer) RunOption {
+	return func(c *RunConfig) { c.Recorder = obs.NewTraceRecorder(w) }
 }
 
 // NewRunConfig returns the configuration for measuring workload w with
@@ -163,7 +185,13 @@ func Run(cfg RunConfig, opts ...RunOption) (Latencies, error) {
 		Sched:          cfg.Scheduler,
 		Steps:          cfg.Steps,
 		WarmupFraction: cfg.WarmupFraction,
+		Recorder:       cfg.Recorder,
 	}, cfg.Seed, nil)
+	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {
+		if ferr := tr.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return Latencies{}, fmt.Errorf("pwf: run: %w", err)
 	}
@@ -180,6 +208,25 @@ type SweepResult = sweep.Result
 // optional worker-pool bound, chain cache, and progress callback.
 type SweepConfig = sweep.Config
 
+// SweepOption overrides one SweepConfig setting in RunSweep.
+type SweepOption func(*SweepConfig)
+
+// WithSweepRecorder attaches a recorder to every job of the sweep
+// (job-lifecycle events plus each job's step-level events). Jobs run
+// concurrently, so the recorder must be safe for concurrent use and
+// events from different jobs interleave nondeterministically.
+func WithSweepRecorder(r Recorder) SweepOption {
+	return func(c *SweepConfig) { c.Recorder = r }
+}
+
+// WithSweepTrace records the sweep's events as NDJSON to w (the
+// TraceRecorder serializes concurrent writers; the trace is flushed
+// when RunSweep returns). Use the job_start/job_end Job index to
+// attribute interleaved step events.
+func WithSweepTrace(w io.Writer) SweepOption {
+	return func(c *SweepConfig) { c.Recorder = obs.NewTraceRecorder(w) }
+}
+
 // RunSweep executes a grid of independent jobs on a worker pool sized
 // to GOMAXPROCS (or SweepConfig.Workers) and returns one result per
 // job, in input order. Results are byte-identical for a given master
@@ -193,6 +240,15 @@ type SweepConfig = sweep.Config
 //	        {Workload: pwf.FetchIncWorkload(), N: 16, Steps: 1_000_000},
 //	}
 //	results, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1})
-func RunSweep(cfg SweepConfig) ([]SweepResult, error) {
-	return sweep.Run(cfg)
+func RunSweep(cfg SweepConfig, opts ...SweepOption) ([]SweepResult, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	res, err := sweep.Run(cfg)
+	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {
+		if ferr := tr.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return res, err
 }
