@@ -5,14 +5,20 @@
 // Usage:
 //
 //	pwfnative -mode schedule -workers 8 -ops 200000 [-trace out.ndjson]
-//	pwfnative -mode rate -maxworkers 32 -ops 100000 [-algo counter|stack|queue] [-metrics]
+//	pwfnative -mode rate -maxworkers 32 -ops 100000 [-algo counter|add|sharded|stack|queue] [-metrics]
+//
+// Contention-management flags (rate mode): -backoff paces retry loops
+// (none, spin[:iters], exp[:base[:cap]], adaptive[:base[:cap]]);
+// -elim gives the stack an elimination array of that many slots;
+// -shards sets the sharded counter's shard count (0 = one per CPU).
 //
 // Observability flags: -trace writes the recovered hardware
 // interleaving as NDJSON sched events (schedule mode only); -metrics
 // prints a JSON metrics snapshot to stderr, including the wait-free
-// retry/step histograms the rate workloads record; -debug-addr serves
-// /metrics, /debug/vars and /debug/pprof over HTTP for the duration
-// of the run; -cpuprofile/-memprofile write pprof profiles.
+// retry/step histograms and elimination-hit counters the rate
+// workloads record; -debug-addr serves /metrics, /debug/vars and
+// /debug/pprof over HTTP for the duration of the run;
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"pwf/internal/backoff"
 	"pwf/internal/native"
 	"pwf/internal/obs"
 )
@@ -42,7 +49,11 @@ func run(args []string, out, errOut io.Writer) error {
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "workers for -mode schedule")
 		maxWorkers = fs.Int("maxworkers", 2*runtime.GOMAXPROCS(0), "largest worker count for -mode rate")
 		ops        = fs.Int("ops", 200000, "operations per worker")
-		algo       = fs.String("algo", "counter", "workload for -mode rate: counter, add, stack, queue")
+		algo       = fs.String("algo", "counter", "workload for -mode rate: counter, add, sharded, stack, queue")
+		backoffArg = fs.String("backoff", "none", "retry pacing: none, spin[:iters], exp[:base[:cap]], adaptive[:base[:cap]]")
+		elimSlots  = fs.Int("elim", 0, "elimination-array slots for the stack workload (0 = disabled)")
+		shards     = fs.Int("shards", 0, "shard count for -algo sharded (0 = one per CPU)")
+		seed       = fs.Uint64("seed", 1, "seed for backoff jitter and elimination slot picks")
 		traceFile  = fs.String("trace", "", "write the recovered schedule as NDJSON events (schedule mode)")
 		metrics    = fs.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -55,6 +66,25 @@ func run(args []string, out, errOut io.Writer) error {
 	if *traceFile != "" && *mode != "schedule" {
 		return fmt.Errorf("-trace applies only to -mode schedule")
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
+	}
+	if *maxWorkers < 1 {
+		return fmt.Errorf("-maxworkers must be at least 1, got %d", *maxWorkers)
+	}
+	if *ops < 1 {
+		return fmt.Errorf("-ops must be at least 1, got %d", *ops)
+	}
+	if *elimSlots < 0 {
+		return fmt.Errorf("-elim must be non-negative, got %d", *elimSlots)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	structOpts, err := structOptions(*backoffArg, *elimSlots, *shards, *seed)
+	if err != nil {
+		return err
+	}
 
 	if *debugAddr != "" {
 		bound, stop, err := obs.ServeDebug(*debugAddr, obs.Default)
@@ -65,12 +95,12 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut, "debug server listening on %s\n", bound)
 	}
 
-	err := withProfiles(*cpuProfile, *memProfile, func() error {
+	err = withProfiles(*cpuProfile, *memProfile, func() error {
 		switch *mode {
 		case "schedule":
 			return runSchedule(out, *workers, *ops, *traceFile)
 		case "rate":
-			return runRate(out, *maxWorkers, *ops, *algo, *metrics)
+			return runRate(out, *maxWorkers, *ops, *algo, *metrics, structOpts)
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
@@ -164,13 +194,41 @@ func writeScheduleTrace(path string, s *native.Schedule) error {
 	return f.Close()
 }
 
-func runRate(out io.Writer, maxWorkers, ops int, algo string, metrics bool) error {
+// structOptions translates the contention-management flags into
+// structure construction options. Options a given workload does not
+// support are ignored by the structure, so a single option list serves
+// every -algo.
+func structOptions(backoffSpec string, elimSlots, shards int, seed uint64) ([]native.Option, error) {
+	var opts []native.Option
+	strat, err := backoff.Parse(backoffSpec, seed)
+	if err != nil {
+		return nil, err
+	}
+	if strat != nil {
+		opts = append(opts, native.WithBackoff(strat))
+	}
+	if elimSlots > 0 {
+		opts = append(opts, native.WithElimination(elimSlots))
+	}
+	if shards > 0 {
+		opts = append(opts, native.WithShards(shards))
+	}
+	if len(opts) > 0 {
+		opts = append(opts, native.WithSeed(seed))
+	}
+	return opts, nil
+}
+
+func runRate(out io.Writer, maxWorkers, ops int, algo string, metrics bool, structOpts []native.Option) error {
 	var stats *obs.OpStats
 	var opts []native.RateOption
 	if metrics {
 		stats = &obs.OpStats{}
 		stats.Register(obs.Default, "native_"+algo)
 		opts = append(opts, native.WithOpStats(stats))
+	}
+	if len(structOpts) > 0 {
+		opts = append(opts, native.WithStructOptions(structOpts...))
 	}
 	measure, err := rateFunc(algo, opts)
 	if err != nil {
@@ -204,6 +262,8 @@ func rateFunc(algo string, opts []native.RateOption) (func(workers, ops int) (na
 		measure = native.MeasureCASCounterRate
 	case "add":
 		measure = native.MeasureAddCounterRate
+	case "sharded":
+		measure = native.MeasureShardedCounterRate
 	case "stack":
 		measure = native.MeasureStackRate
 	case "queue":

@@ -56,11 +56,38 @@ func TestRunScheduleTrace(t *testing.T) {
 }
 
 func TestRunRateAllWorkloads(t *testing.T) {
-	for _, algo := range []string{"counter", "add", "stack", "queue"} {
+	for _, algo := range []string{"counter", "add", "sharded", "stack", "queue"} {
 		algo := algo
 		t.Run(algo, func(t *testing.T) {
 			var buf bytes.Buffer
 			args := []string{"-mode", "rate", "-maxworkers", "2", "-ops", "2000", "-algo", algo}
+			if err := run(args, &buf, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "Figure 5") {
+				t.Errorf("missing header:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRunRateContentionFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"backoff-exp", []string{"-algo", "counter", "-backoff", "exp:16:4096"}},
+		{"backoff-adaptive", []string{"-algo", "counter", "-backoff", "adaptive"}},
+		{"backoff-spin", []string{"-algo", "queue", "-backoff", "spin:32"}},
+		{"elim-stack", []string{"-algo", "stack", "-elim", "4", "-backoff", "exp"}},
+		{"sharded", []string{"-algo", "sharded", "-shards", "4"}},
+		{"seeded", []string{"-algo", "stack", "-elim", "2", "-seed", "42"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			args := append([]string{"-mode", "rate", "-maxworkers", "2", "-ops", "2000"}, tc.args...)
 			if err := run(args, &buf, &buf); err != nil {
 				t.Fatal(err)
 			}
@@ -108,16 +135,37 @@ func TestRunProfiles(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	for _, args := range [][]string{
-		{"-mode", "nope"},
-		{"-mode", "rate", "-algo", "nope"},
-		{"-mode", "schedule", "-workers", "0"},
-		{"-mode", "rate", "-trace", "x.ndjson"},
-		{"-badflag"},
-	} {
-		var buf bytes.Buffer
-		if err := run(args, &buf, &buf); err == nil {
-			t.Errorf("args %v: nil error", args)
-		}
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"bad mode", []string{"-mode", "nope"}, `unknown mode "nope"`},
+		{"bad algo", []string{"-mode", "rate", "-algo", "nope"}, `unknown workload "nope"`},
+		{"zero workers", []string{"-mode", "schedule", "-workers", "0"}, "-workers must be at least 1"},
+		{"negative workers", []string{"-mode", "schedule", "-workers", "-3"}, "-workers must be at least 1"},
+		{"zero maxworkers", []string{"-mode", "rate", "-maxworkers", "0"}, "-maxworkers must be at least 1"},
+		{"negative maxworkers", []string{"-mode", "rate", "-maxworkers", "-1"}, "-maxworkers must be at least 1"},
+		{"zero ops", []string{"-mode", "rate", "-ops", "0"}, "-ops must be at least 1"},
+		{"negative ops", []string{"-mode", "schedule", "-ops", "-5"}, "-ops must be at least 1"},
+		{"negative elim", []string{"-mode", "rate", "-elim", "-1"}, "-elim must be non-negative"},
+		{"negative shards", []string{"-mode", "rate", "-shards", "-2"}, "-shards must be non-negative"},
+		{"bad backoff strategy", []string{"-mode", "rate", "-backoff", "bogus"}, "bogus"},
+		{"bad backoff param", []string{"-mode", "rate", "-backoff", "exp:x"}, "exp"},
+		{"trace in rate mode", []string{"-mode", "rate", "-trace", "x.ndjson"}, "-trace applies only"},
+		{"unknown flag", []string{"-badflag"}, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf, &buf)
+			if err == nil {
+				t.Fatalf("args %v: nil error", tc.args)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.wantMsg)
+			}
+		})
 	}
 }

@@ -76,14 +76,29 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *steps < 1 {
+		return fmt.Errorf("-steps must be at least 1, got %d", *steps)
+	}
+	if *q < 0 {
+		return fmt.Errorf("-q must be non-negative, got %d", *q)
+	}
+	if *s < 1 {
+		return fmt.Errorf("-s must be at least 1, got %d", *s)
+	}
+	if *crash < 0 {
+		return fmt.Errorf("-crash must be non-negative, got %d", *crash)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	}
 	spec, err := pwf.ParseScheduler(*schedName)
 	if err != nil {
 		return err
 	}
 	warmupFraction := pwf.DefaultWarmupFraction
 	if *warmup > 0 {
-		if *steps == 0 || *warmup >= *steps {
-			return fmt.Errorf("warmup %d must be below steps %d", *warmup, *steps)
+		if *warmup >= *steps {
+			return fmt.Errorf("-warmup %d must be below -steps %d", *warmup, *steps)
 		}
 		warmupFraction = float64(*warmup) / float64(*steps)
 	}
@@ -197,7 +212,9 @@ func withProfiles(cpu, mem string, f func() error) error {
 }
 
 // parseNs parses the -n flag: one process count or a comma-separated
-// sweep list.
+// sweep list. Every count must be a positive integer — a zero or
+// negative process count can only be a typo, so it fails fast here
+// rather than deep inside the sweep engine.
 func parseNs(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	counts := make([]int, 0, len(parts))
@@ -205,6 +222,9 @@ func parseNs(s string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
 			return nil, fmt.Errorf("parse -n %q: %w", s, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("parse -n %q: process count %d must be at least 1", s, n)
 		}
 		counts = append(counts, n)
 	}

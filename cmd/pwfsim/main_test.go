@@ -140,20 +140,50 @@ func TestRunWarmupFlag(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	tests := [][]string{
-		{"-algo", "nope"},
-		{"-sched", "nope"},
-		{"-sched", "sticky:abc"},
-		{"-sched", "sticky:1.5"},
-		{"-algo", "parallel", "-q", "0"},
-		{"-sched", "roundrobin", "-crash", "9", "-n", "8"},
-		{"-bogusflag"},
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"bad algo", []string{"-algo", "nope"}, ""},
+		{"bad sched", []string{"-sched", "nope"}, ""},
+		{"bad sticky rho", []string{"-sched", "sticky:abc"}, ""},
+		{"sticky rho out of range", []string{"-sched", "sticky:1.5"}, ""},
+		{"parallel without preamble", []string{"-algo", "parallel", "-q", "0"}, ""},
+		{"crash more than n", []string{"-sched", "roundrobin", "-crash", "9", "-n", "8"}, ""},
+		{"unknown flag", []string{"-bogusflag"}, ""},
+		{"zero n", []string{"-n", "0"}, "must be at least 1"},
+		{"negative n", []string{"-n", "-4"}, "must be at least 1"},
+		{"bad n in sweep list", []string{"-n", "2,0,8"}, "must be at least 1"},
+		{"unparseable n", []string{"-n", "2,x"}, "parse -n"},
+		{"negative q", []string{"-q", "-1"}, "-q must be non-negative"},
+		{"zero s", []string{"-algo", "scu", "-s", "0"}, "-s must be at least 1"},
+		{"negative crash", []string{"-crash", "-1"}, "-crash must be non-negative"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers must be non-negative"},
 	}
-	for _, args := range tests {
-		var buf bytes.Buffer
-		if err := run(append(args, "-steps", "100"), &buf, &buf); err == nil {
-			t.Errorf("args %v: nil error", args)
-		}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(append(tc.args, "-steps", "100"), &buf, &buf)
+			if err == nil {
+				t.Fatalf("args %v: nil error", tc.args)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestRunRejectsZeroSteps(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "2", "-steps", "0"}, &buf, &buf)
+	if err == nil {
+		t.Fatal("zero -steps accepted")
+	}
+	if !strings.Contains(err.Error(), "-steps must be at least 1") {
+		t.Errorf("error %q does not name -steps", err)
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package backoff provides contention management for the lock-free
+// structures in internal/native. The paper's conflict model predicts
+// that bare CAS retry loops collapse under contention: every failed
+// attempt burns shared-memory steps that another process's success
+// invalidated. A backoff strategy spends local (unshared) time after a
+// failure instead, widening the window in which some process completes
+// — the mechanism by which randomized backoff restores the
+// practically-wait-free behaviour the paper measures.
+//
+// Strategies pace retries, they never change what a structure does on
+// the shared memory: a structure with a nil Strategy is step-for-step
+// identical to one built before this package existed.
+//
+// All randomness is drawn from deterministic splitmix64 streams
+// (internal/rng), seeded explicitly, so experiment runs remain
+// reproducible from a single seed.
+package backoff
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"pwf/internal/rng"
+)
+
+// Strategy paces the retry loop of a lock-free operation.
+// Implementations must be safe for concurrent use: one Strategy value
+// is shared by every goroutine using a structure, and both methods are
+// called from the structure's hot path.
+type Strategy interface {
+	// Pause is called after the attempt-th consecutive failed attempt
+	// (1-based) of one operation. It spends only local time — no
+	// shared-memory steps — before the caller retries.
+	Pause(attempt uint64)
+	// Succeeded reports that an operation completed, letting adaptive
+	// strategies decay their contention estimate. Stateless strategies
+	// ignore it.
+	Succeeded()
+}
+
+// SpinWait burns roughly iters units of local CPU time, yielding the
+// processor periodically so an oversubscribed machine (more spinning
+// goroutines than cores) still makes global progress. One unit is a
+// handful of ALU operations — a few nanoseconds on current hardware.
+func SpinWait(iters uint64) {
+	var acc uint64
+	for i := uint64(0); i < iters; i++ {
+		acc += i
+		if i&0xfff == 0xfff {
+			runtime.Gosched()
+		}
+	}
+	// Consume acc so the loop cannot be discarded; the branch is never
+	// taken (acc is a triangular number, ^uint64(0) is not).
+	if acc == ^uint64(0) {
+		runtime.Gosched()
+	}
+}
+
+// None is the explicit do-nothing strategy. Structures treat a nil
+// Strategy the same way; None exists so a Strategy-typed variable can
+// say "no backoff" without a nil check at the configuration layer.
+type None struct{}
+
+// Pause implements Strategy as a no-op.
+func (None) Pause(uint64) {}
+
+// Succeeded implements Strategy as a no-op.
+func (None) Succeeded() {}
+
+// Spin pauses a fixed number of spin units after every failure,
+// regardless of the attempt index — the simplest nontrivial strategy,
+// useful as an ablation baseline against Exp.
+type Spin struct {
+	// Iters is the spin-unit count per pause.
+	Iters uint64
+}
+
+// Pause implements Strategy.
+func (s Spin) Pause(uint64) { SpinWait(s.Iters) }
+
+// Succeeded implements Strategy.
+func (Spin) Succeeded() {}
+
+// Exp is exponential backoff with randomized, capped, full jitter: the
+// k-th consecutive failure pauses a uniformly random duration in
+// [0, min(base<<(k-1), cap)] spin units. Full jitter desynchronizes
+// the retry herd — two processes that failed together retry apart —
+// which is what breaks the repeated-conflict pattern of the paper's
+// worst case.
+type Exp struct {
+	base, cap uint64
+	jitter    *rng.Atomic
+}
+
+// DefaultBase and DefaultCap are the spin-unit parameters used when a
+// spec does not override them, sized so the first pause is shorter
+// than one uncontended operation and the largest stays well under a
+// scheduler quantum.
+const (
+	DefaultBase uint64 = 16
+	DefaultCap  uint64 = 1 << 14
+)
+
+// NewExp returns an Exp strategy with the given base and cap (spin
+// units; zero values fall back to DefaultBase/DefaultCap) drawing
+// jitter from a deterministic stream seeded at seed.
+func NewExp(base, cap uint64, seed uint64) *Exp {
+	if base == 0 {
+		base = DefaultBase
+	}
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Exp{base: base, cap: cap, jitter: rng.NewAtomic(seed)}
+}
+
+// Pause implements Strategy.
+func (e *Exp) Pause(attempt uint64) {
+	SpinWait(e.jitter.Bounded(e.limit(attempt) + 1))
+}
+
+// limit returns min(base << (attempt-1), cap), guarding the shift
+// against overflow.
+func (e *Exp) limit(attempt uint64) uint64 {
+	if attempt == 0 {
+		attempt = 1
+	}
+	shift := attempt - 1
+	if shift >= 64 || e.base<<shift>>shift != e.base || e.base<<shift > e.cap {
+		return e.cap
+	}
+	return e.base << shift
+}
+
+// Succeeded implements Strategy.
+func (*Exp) Succeeded() {}
+
+// Adaptive estimates contention from recent outcomes instead of from
+// the current operation's attempt index: failures anywhere raise a
+// shared level, successes lower it, and every pause draws full jitter
+// from [0, min(base<<level, cap)]. A thread arriving at an already-hot
+// structure therefore backs off on its first failure, and the
+// structure cools down collectively once conflicts stop. Both updates
+// are a single CAS attempt — best-effort, never retried — so the
+// strategy itself stays wait-free.
+type Adaptive struct {
+	level     atomic.Int64
+	maxLevel  int64
+	base, cap uint64
+	jitter    *rng.Atomic
+}
+
+// NewAdaptive returns an Adaptive strategy with the given spin-unit
+// parameters (zero values fall back to DefaultBase/DefaultCap).
+func NewAdaptive(base, cap uint64, seed uint64) *Adaptive {
+	if base == 0 {
+		base = DefaultBase
+	}
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	if cap < base {
+		cap = base
+	}
+	max := int64(0)
+	for base<<max < cap && max < 62 {
+		max++
+	}
+	return &Adaptive{maxLevel: max, base: base, cap: cap, jitter: rng.NewAtomic(seed)}
+}
+
+// Pause implements Strategy.
+func (a *Adaptive) Pause(uint64) {
+	l := a.level.Load()
+	if l < a.maxLevel {
+		a.level.CompareAndSwap(l, l+1) // best-effort raise
+	}
+	limit := a.base << uint64(l)
+	if limit > a.cap {
+		limit = a.cap
+	}
+	SpinWait(a.jitter.Bounded(limit + 1))
+}
+
+// Succeeded implements Strategy.
+func (a *Adaptive) Succeeded() {
+	l := a.level.Load()
+	if l > 0 {
+		a.level.CompareAndSwap(l, l-1) // best-effort decay
+	}
+}
+
+// Level exposes the current contention estimate for tests and metrics.
+func (a *Adaptive) Level() int64 { return a.level.Load() }
+
+// Parse builds a Strategy from its CLI spec. Recognised forms:
+//
+//	none
+//	spin[:iters]
+//	exp[:base[:cap]]
+//	adaptive[:base[:cap]]
+//
+// Numeric fields are spin units. "none" yields a nil Strategy, which
+// structures treat as no backoff at all (the byte-identical default
+// path). seed feeds the jitter streams of exp and adaptive.
+func Parse(spec string, seed uint64) (Strategy, error) {
+	parts := strings.Split(spec, ":")
+	nums := make([]uint64, 0, 2)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("backoff: bad parameter %q in spec %q", p, spec)
+		}
+		nums = append(nums, v)
+	}
+	arg := func(i int, def uint64) uint64 {
+		if i < len(nums) {
+			return nums[i]
+		}
+		return def
+	}
+	switch parts[0] {
+	case "none", "":
+		if len(nums) > 0 {
+			return nil, fmt.Errorf("backoff: %q takes no parameters", parts[0])
+		}
+		return nil, nil
+	case "spin":
+		if len(nums) > 1 {
+			return nil, fmt.Errorf("backoff: spin takes at most one parameter, got %q", spec)
+		}
+		return Spin{Iters: arg(0, DefaultBase)}, nil
+	case "exp":
+		if len(nums) > 2 {
+			return nil, fmt.Errorf("backoff: exp takes at most two parameters, got %q", spec)
+		}
+		return NewExp(arg(0, DefaultBase), arg(1, DefaultCap), seed), nil
+	case "adaptive":
+		if len(nums) > 2 {
+			return nil, fmt.Errorf("backoff: adaptive takes at most two parameters, got %q", spec)
+		}
+		return NewAdaptive(arg(0, DefaultBase), arg(1, DefaultCap), seed), nil
+	}
+	return nil, fmt.Errorf("backoff: unknown strategy %q (want none, spin, exp, adaptive)", parts[0])
+}

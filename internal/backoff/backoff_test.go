@@ -1,0 +1,144 @@
+package backoff
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseTable(t *testing.T) {
+	tests := []struct {
+		spec    string
+		want    string // type name, "" for nil strategy
+		wantErr bool
+	}{
+		{spec: "none", want: ""},
+		{spec: "", want: ""},
+		{spec: "spin", want: "Spin"},
+		{spec: "spin:64", want: "Spin"},
+		{spec: "exp", want: "Exp"},
+		{spec: "exp:8", want: "Exp"},
+		{spec: "exp:8:1024", want: "Exp"},
+		{spec: "adaptive", want: "Adaptive"},
+		{spec: "adaptive:4:512", want: "Adaptive"},
+		{spec: "none:1", wantErr: true},
+		{spec: "spin:1:2", wantErr: true},
+		{spec: "exp:1:2:3", wantErr: true},
+		{spec: "exp:x", wantErr: true},
+		{spec: "exp:-1", wantErr: true},
+		{spec: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		s, err := Parse(tt.spec, 1)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q): nil error", tt.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.spec, err)
+			continue
+		}
+		got := ""
+		switch s.(type) {
+		case nil:
+		case Spin:
+			got = "Spin"
+		case *Exp:
+			got = "Exp"
+		case *Adaptive:
+			got = "Adaptive"
+		default:
+			got = "?"
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %s, want %s", tt.spec, got, tt.want)
+		}
+	}
+}
+
+func TestExpLimitGrowsAndCaps(t *testing.T) {
+	e := NewExp(16, 1024, 7)
+	wants := []struct {
+		attempt uint64
+		limit   uint64
+	}{
+		{1, 16}, {2, 32}, {3, 64}, {7, 1024}, {8, 1024},
+		{63, 1024}, {64, 1024}, {200, 1024}, {0, 16},
+	}
+	for _, w := range wants {
+		if got := e.limit(w.attempt); got != w.limit {
+			t.Errorf("limit(%d) = %d, want %d", w.attempt, got, w.limit)
+		}
+	}
+}
+
+func TestExpZeroParamsUseDefaults(t *testing.T) {
+	e := NewExp(0, 0, 1)
+	if e.base != DefaultBase || e.cap != DefaultCap {
+		t.Fatalf("defaults not applied: base=%d cap=%d", e.base, e.cap)
+	}
+	// cap below base is raised to base.
+	e = NewExp(100, 10, 1)
+	if e.cap != 100 {
+		t.Fatalf("cap %d, want clamped to base 100", e.cap)
+	}
+}
+
+func TestAdaptiveLevelRisesAndDecays(t *testing.T) {
+	a := NewAdaptive(1, 8, 1)
+	if a.Level() != 0 {
+		t.Fatalf("fresh level %d", a.Level())
+	}
+	for i := 0; i < 100; i++ {
+		a.Pause(1)
+	}
+	if a.Level() != a.maxLevel {
+		t.Fatalf("level after 100 failures = %d, want max %d", a.Level(), a.maxLevel)
+	}
+	for i := 0; i < 100; i++ {
+		a.Succeeded()
+	}
+	if a.Level() != 0 {
+		t.Fatalf("level after 100 successes = %d, want 0", a.Level())
+	}
+}
+
+// TestStrategiesConcurrent hammers every strategy from many
+// goroutines; under -race this checks the shared jitter streams and
+// the adaptive level updates are properly synchronized.
+func TestStrategiesConcurrent(t *testing.T) {
+	for _, s := range []Strategy{None{}, Spin{Iters: 4}, NewExp(2, 16, 3), NewAdaptive(2, 16, 3)} {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := uint64(1); i <= 200; i++ {
+					s.Pause(i % 5)
+					if i%3 == 0 {
+						s.Succeeded()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestSpinWaitReturns(t *testing.T) {
+	SpinWait(0)
+	SpinWait(1 << 13) // crosses the Gosched stride
+}
+
+func TestParseErrorsName(t *testing.T) {
+	_, err := Parse("warp", 1)
+	if err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("error %v should name the bad strategy", err)
+	}
+	if errors.Is(err, nil) {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,201 @@
+package native
+
+// Contention benchmarks: reproduce the scaling shape of the paper's
+// Figures 3-5 on real hardware and measure how much each contention-
+// management strategy recovers. Every benchmark sweeps goroutine
+// counts (temporarily raising GOMAXPROCS so g goroutines really
+// timeshare or parallelize) and reports, besides wall time, the two
+// quantities the paper plots:
+//
+//	rate        completions per shared-memory step (Figure 5 y-axis)
+//	casfails/op mean failed CAS attempts per operation (conflict rate)
+//
+// Wall-time differences between strategies only appear when the host
+// exposes enough hardware parallelism for CAS conflicts to be common;
+// the step-accounted metrics expose the contention structure even on
+// small machines. Numbers from this container are recorded in
+// BENCH.md.
+//
+// Run with:
+//
+//	go test -run='^$' -bench=Contention -benchtime=1x ./internal/native/
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pwf/internal/backoff"
+	"pwf/internal/obs"
+)
+
+// contentionGoroutines is the sweep of concurrent goroutine counts.
+var contentionGoroutines = []int{1, 2, 4, 8, 16}
+
+// stackConfigs are the stack strategies under comparison. Seeds are
+// fixed so jitter streams are reproducible.
+func stackConfigs() []struct {
+	name string
+	opts []Option
+} {
+	return []struct {
+		name string
+		opts []Option
+	}{
+		{"bare", nil},
+		{"spin", []Option{WithBackoff(backoff.Spin{Iters: 64})}},
+		{"exp", []Option{WithBackoff(backoff.NewExp(16, 1<<12, 1))}},
+		{"adaptive", []Option{WithBackoff(backoff.NewAdaptive(16, 1<<12, 1))}},
+		{"elim", []Option{WithElimination(4), WithSeed(1)}},
+		{"elim+exp", []Option{
+			WithElimination(4), WithSeed(1),
+			WithBackoff(backoff.NewExp(16, 1<<12, 1)),
+		}},
+	}
+}
+
+// withGoroutines runs body under exactly g-goroutine parallelism:
+// GOMAXPROCS is raised to g for the duration so the goroutines
+// timeshare (or run in parallel, hardware permitting) the way a
+// g-thread run of the paper's testbed would.
+func withGoroutines(b *testing.B, g int, body func(pb *testing.PB)) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(g)
+	defer runtime.GOMAXPROCS(prev)
+	b.SetParallelism((g + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(body)
+}
+
+// reportOpStats attaches the step-accounted metrics to the benchmark
+// result.
+func reportOpStats(b *testing.B, st *obs.OpStats) {
+	b.Helper()
+	ops := st.Ops.Load()
+	if ops == 0 {
+		return
+	}
+	b.ReportMetric(float64(ops)/float64(st.Steps.Sum()), "rate")
+	b.ReportMetric(float64(st.CASFailures.Load())/float64(ops), "casfails/op")
+	if elims := st.Eliminations.Load(); elims > 0 {
+		b.ReportMetric(float64(elims)/float64(ops), "elims/op")
+	}
+}
+
+// BenchmarkContentionStack sweeps push/pop pairs across strategies and
+// goroutine counts — the experiment behind the acceptance criterion
+// that exponential jitter and elimination beat bare CAS once >= 8
+// goroutines contend.
+func BenchmarkContentionStack(b *testing.B) {
+	for _, cfg := range stackConfigs() {
+		for _, g := range contentionGoroutines {
+			b.Run(fmt.Sprintf("strategy=%s/goroutines=%d", cfg.name, g), func(b *testing.B) {
+				s := NewStack[int](cfg.opts...)
+				var st obs.OpStats
+				s.Instrument(&st)
+				withGoroutines(b, g, func(pb *testing.PB) {
+					push := true
+					for pb.Next() {
+						if push {
+							s.Push(1)
+						} else {
+							s.Pop()
+						}
+						push = !push
+					}
+				})
+				reportOpStats(b, &st)
+			})
+		}
+	}
+}
+
+// BenchmarkContentionCounter compares the Appendix B counter variants:
+// the bare and paced CAS loops against the sharded counter's batched
+// reconcile path and the hardware fetch-and-add wait-free ceiling.
+func BenchmarkContentionCounter(b *testing.B) {
+	configs := []struct {
+		name  string
+		build func() (inc func(worker int) uint64, st *obs.OpStats)
+	}{
+		{"cas-bare", func() (func(int) uint64, *obs.OpStats) {
+			c := NewCASCounter()
+			st := &obs.OpStats{}
+			c.Instrument(st)
+			return func(int) uint64 { _, s := c.Inc(); return s }, st
+		}},
+		{"cas-exp", func() (func(int) uint64, *obs.OpStats) {
+			c := NewCASCounter(WithBackoff(backoff.NewExp(16, 1<<12, 1)))
+			st := &obs.OpStats{}
+			c.Instrument(st)
+			return func(int) uint64 { _, s := c.Inc(); return s }, st
+		}},
+		{"cas-adaptive", func() (func(int) uint64, *obs.OpStats) {
+			c := NewCASCounter(WithBackoff(backoff.NewAdaptive(16, 1<<12, 1)))
+			st := &obs.OpStats{}
+			c.Instrument(st)
+			return func(int) uint64 { _, s := c.Inc(); return s }, st
+		}},
+		{"sharded", func() (func(int) uint64, *obs.OpStats) {
+			c := NewShardedCounter(WithShards(16), WithBatch(DefaultBatch))
+			st := &obs.OpStats{}
+			c.Instrument(st)
+			return func(w int) uint64 { _, s := c.Inc(w); return s }, st
+		}},
+		{"add", func() (func(int) uint64, *obs.OpStats) {
+			var c AddCounter
+			st := &obs.OpStats{}
+			c.Instrument(st)
+			return func(int) uint64 { _, s := c.Inc(); return s }, st
+		}},
+	}
+	for _, cfg := range configs {
+		for _, g := range contentionGoroutines {
+			b.Run(fmt.Sprintf("strategy=%s/goroutines=%d", cfg.name, g), func(b *testing.B) {
+				inc, st := cfg.build()
+				var workerID atomic.Int64
+				withGoroutines(b, g, func(pb *testing.PB) {
+					w := int(workerID.Add(1) - 1)
+					for pb.Next() {
+						inc(w)
+					}
+				})
+				reportOpStats(b, st)
+			})
+		}
+	}
+}
+
+// BenchmarkContentionQueue sweeps the Michael-Scott queue with and
+// without pacing.
+func BenchmarkContentionQueue(b *testing.B) {
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"bare", nil},
+		{"exp", []Option{WithBackoff(backoff.NewExp(16, 1<<12, 1))}},
+	}
+	for _, cfg := range configs {
+		for _, g := range contentionGoroutines {
+			b.Run(fmt.Sprintf("strategy=%s/goroutines=%d", cfg.name, g), func(b *testing.B) {
+				q := NewQueue[int](cfg.opts...)
+				var st obs.OpStats
+				q.Instrument(&st)
+				withGoroutines(b, g, func(pb *testing.PB) {
+					enq := true
+					for pb.Next() {
+						if enq {
+							q.Enqueue(1)
+						} else {
+							q.Dequeue()
+						}
+						enq = !enq
+					}
+				})
+				reportOpStats(b, &st)
+			})
+		}
+	}
+}

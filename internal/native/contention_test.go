@@ -1,0 +1,374 @@
+package native
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"pwf/internal/backoff"
+	"pwf/internal/obs"
+)
+
+// TestNewStackDefaultMatchesZeroValue pins the acceptance criterion
+// that the no-backoff default is behaviourally identical to the
+// pre-contention-management stack: same step counts on the same
+// operation sequence.
+func TestNewStackDefaultMatchesZeroValue(t *testing.T) {
+	var zero Stack[int]
+	built := NewStack[int]()
+	for i := 0; i < 100; i++ {
+		if zs, bs := zero.Push(i), built.Push(i); zs != bs || zs != 2 {
+			t.Fatalf("push %d: zero=%d built=%d, want 2", i, zs, bs)
+		}
+	}
+	for i := 99; i >= 0; i-- {
+		zv, zok, zs := zero.Pop()
+		bv, bok, bs := built.Pop()
+		if zv != bv || zok != bok || zs != bs || zs != 3 {
+			t.Fatalf("pop: zero=(%d,%v,%d) built=(%d,%v,%d)", zv, zok, zs, bv, bok, bs)
+		}
+	}
+}
+
+// TestStackWithBackoffSequential checks that a paced stack is
+// functionally identical when uncontended: backoff only runs after a
+// failed CAS, so sequential step counts must not change.
+func TestStackWithBackoffSequential(t *testing.T) {
+	for _, bo := range []backoff.Strategy{
+		backoff.None{},
+		backoff.Spin{Iters: 8},
+		backoff.NewExp(4, 64, 1),
+		backoff.NewAdaptive(4, 64, 1),
+	} {
+		s := NewStack[int](WithBackoff(bo))
+		for i := 0; i < 50; i++ {
+			if steps := s.Push(i); steps != 2 {
+				t.Fatalf("paced uncontended push took %d steps", steps)
+			}
+		}
+		for i := 49; i >= 0; i-- {
+			v, ok, steps := s.Pop()
+			if !ok || v != i || steps != 3 {
+				t.Fatalf("paced pop = (%d, %v, %d)", v, ok, steps)
+			}
+		}
+	}
+}
+
+// TestStackContendedConservation hammers every contention-management
+// configuration with concurrent push/pop pairs and checks value
+// conservation: nothing lost, nothing duplicated — including values
+// that travelled through the elimination array rather than the stack
+// proper. Run under -race this also exercises the elimination
+// protocol's synchronization.
+func TestStackContendedConservation(t *testing.T) {
+	configs := map[string][]Option{
+		"bare":     nil,
+		"exp":      {WithBackoff(backoff.NewExp(2, 64, 42))},
+		"adaptive": {WithBackoff(backoff.NewAdaptive(2, 64, 42))},
+		"elim":     {WithElimination(4), WithSeed(42)},
+		"elim+exp": {WithElimination(4), WithBackoff(backoff.NewExp(2, 64, 42))},
+	}
+	for name, opts := range configs {
+		name, opts := name, opts
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const (
+				workers = 8
+				pairs   = 2000
+			)
+			s := NewStack[int](opts...)
+			var st obs.OpStats
+			s.Instrument(&st)
+			var (
+				wg     sync.WaitGroup
+				mu     sync.Mutex
+				popped = make(map[int]int)
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					local := make([]int, 0, pairs)
+					for i := 0; i < pairs; i++ {
+						s.Push(w*pairs + i)
+						if v, ok, _ := s.Pop(); ok {
+							local = append(local, v)
+						}
+					}
+					mu.Lock()
+					for _, v := range local {
+						popped[v]++
+					}
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			for v, c := range popped {
+				if c != 1 {
+					t.Fatalf("value %d popped %d times", v, c)
+				}
+			}
+			total := len(popped)
+			for {
+				v, ok, _ := s.Pop()
+				if !ok {
+					break
+				}
+				if popped[v] != 0 {
+					t.Fatalf("leftover %d already popped", v)
+				}
+				total++
+			}
+			if total != workers*pairs {
+				t.Fatalf("recovered %d values, want %d", total, workers*pairs)
+			}
+			if st.Ops.Load() == 0 {
+				t.Fatal("no operations recorded")
+			}
+		})
+	}
+}
+
+// TestElimArrayExchange drives the rendezvous protocol directly: a
+// parked push must be consumed by a concurrent pop, and a push with no
+// partner must reclaim its value.
+func TestElimArrayExchange(t *testing.T) {
+	a := newElimArray[int](1, 7)
+
+	// No partner: the pusher reclaims its slot and reports no exchange.
+	if _, ok := a.tryPush(1); ok {
+		t.Fatal("tryPush succeeded with no popper present")
+	}
+	if v, _, ok := a.tryPop(); ok {
+		t.Fatalf("tryPop found %d in an empty array", v)
+	}
+
+	// With a partner: park a value with a wide window and pop it from
+	// another goroutine. The window can in principle expire before the
+	// popper is scheduled, so retry rounds until an exchange happens.
+	a.window = 1 << 22
+	for round := 0; round < 100; round++ {
+		done := make(chan bool, 1)
+		go func() {
+			_, ok := a.tryPush(99)
+			done <- ok
+		}()
+		for exchanged := false; !exchanged; {
+			if v, _, ok := a.tryPop(); ok {
+				if v != 99 {
+					t.Fatalf("eliminated value %d, want 99", v)
+				}
+				if !<-done {
+					t.Fatal("pusher did not observe the elimination")
+				}
+				return
+			}
+			select {
+			case <-done:
+				// Window expired with no exchange; next round.
+				exchanged = true
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+	t.Fatal("no exchange in 100 rounds")
+}
+
+// TestStackEliminationRace hammers a stack with a small elimination
+// array from dedicated pushers and poppers; the elimination paths are
+// scheduling-dependent, so the assertions pin the accounting
+// invariants rather than a particular hit count.
+func TestStackEliminationRace(t *testing.T) {
+	s := NewStack[int](WithElimination(2), WithSeed(3))
+	var st obs.OpStats
+	s.Instrument(&st)
+	const (
+		workers = 8
+		ops     = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if w%2 == 0 {
+					s.Push(i)
+				} else {
+					s.Pop()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Elimination hits are scheduling-dependent; the invariant is the
+	// accounting: every op was observed, hits never exceed ops.
+	if got := st.Ops.Load(); got != workers*ops {
+		t.Fatalf("ops %d, want %d", got, workers*ops)
+	}
+	if st.Eliminations.Load() > st.Ops.Load() {
+		t.Fatalf("eliminations %d exceed ops %d", st.Eliminations.Load(), st.Ops.Load())
+	}
+}
+
+func TestShardedCounterSequential(t *testing.T) {
+	c := NewShardedCounter(WithShards(4), WithBatch(8))
+	if c.Shards() != 4 {
+		t.Fatalf("Shards = %d", c.Shards())
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 100; i++ {
+		v, steps := c.Inc(i % 4)
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+		if steps < 1 || steps > 4 {
+			t.Fatalf("steps %d out of range", steps)
+		}
+	}
+	if got := c.Exact(); got != 100 {
+		t.Fatalf("Exact = %d, want 100", got)
+	}
+	// Load lags by the unreconciled remainders (25 per shard => 1
+	// remainder of 1 each after 3 full batches of 8).
+	if load := c.Load(); load > 100 || load < 100-4*7 {
+		t.Fatalf("Load = %d outside lag bound", load)
+	}
+	if got := c.Reconcile(); got != 100 {
+		t.Fatalf("Reconcile = %d, want 100", got)
+	}
+	if got := c.Load(); got != 100 {
+		t.Fatalf("Load after Reconcile = %d, want 100", got)
+	}
+	// Reconcile is idempotent and increments after it keep folding
+	// exactly once.
+	for i := 0; i < 100; i++ {
+		c.Inc(i % 4)
+	}
+	if got := c.Reconcile(); got != 200 {
+		t.Fatalf("second Reconcile = %d, want 200", got)
+	}
+}
+
+// TestShardedCounterNeverOvercounts interleaves Reconcile with
+// increments and checks the fold-exactly-once invariant: Load must
+// never exceed the true increment count.
+func TestShardedCounterNeverOvercounts(t *testing.T) {
+	c := NewShardedCounter(WithShards(2), WithBatch(4))
+	for i := 0; i < 10; i++ {
+		c.Inc(0)
+	}
+	c.Reconcile() // folds the remainder of 2 past the last batch of 4
+	for i := 0; i < 10; i++ {
+		c.Inc(0) // crosses batch boundaries that overlap the remainder
+	}
+	if got, want := c.Reconcile(), int64(20); got != want {
+		t.Fatalf("Reconcile = %d, want %d", got, want)
+	}
+	if got := c.Exact(); got != 20 {
+		t.Fatalf("Exact = %d, want 20", got)
+	}
+}
+
+func TestShardedCounterConcurrentUniqueness(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 5000
+	)
+	c := NewShardedCounter(WithShards(4), WithBatch(16))
+	var st obs.OpStats
+	c.Instrument(&st)
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	seen := make(map[int64]bool, workers*ops)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]int64, 0, ops)
+			for i := 0; i < ops; i++ {
+				v, _ := c.Inc(w)
+				local = append(local, v)
+			}
+			mu.Lock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("duplicate value %d", v)
+				}
+				seen[v] = true
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Exact(); got != workers*ops {
+		t.Fatalf("Exact = %d, want %d", got, workers*ops)
+	}
+	if load := c.Load(); load > workers*ops {
+		t.Fatalf("Load = %d overcounts %d", load, workers*ops)
+	}
+	if got := c.Reconcile(); got != workers*ops {
+		t.Fatalf("Reconcile = %d, want %d", got, workers*ops)
+	}
+	if got := st.Ops.Load(); got != workers*ops {
+		t.Fatalf("stats ops %d, want %d", got, workers*ops)
+	}
+	if st.CASFailures.Load() != 0 {
+		t.Fatalf("wait-free sharded counter recorded %d CAS failures", st.CASFailures.Load())
+	}
+}
+
+func TestShardedCounterShardAliasing(t *testing.T) {
+	c := NewShardedCounter(WithShards(2))
+	v0, _ := c.Inc(0)
+	v2, _ := c.Inc(2)  // aliases shard 0
+	v5, _ := c.Inc(-1) // negative indices alias too
+	if v0 == v2 || v2 == v5 || v0 == v5 {
+		t.Fatalf("aliased shards produced duplicates: %d %d %d", v0, v2, v5)
+	}
+	if c.Exact() != 3 {
+		t.Fatalf("Exact = %d, want 3", c.Exact())
+	}
+}
+
+func TestMeasureShardedCounterRate(t *testing.T) {
+	var st obs.OpStats
+	res, err := MeasureShardedCounterRate(4, 10000,
+		WithOpStats(&st), WithStructOptions(WithShards(4), WithBatch(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One step per op plus a 3-step fold every 64 ops: the rate must
+	// stay close to the wait-free baseline's 1, far above the
+	// CAS-counter's contended collapse.
+	if res.Rate() < 0.9 {
+		t.Fatalf("sharded rate %v, want > 0.9", res.Rate())
+	}
+	if st.Ops.Load() != res.Ops {
+		t.Fatalf("ops recorded %d, measured %d", st.Ops.Load(), res.Ops)
+	}
+	if st.Steps.Sum() != res.Steps {
+		t.Fatalf("steps recorded %d, measured %d", st.Steps.Sum(), res.Steps)
+	}
+}
+
+// TestMeasureRatesWithContentionOptions smoke-tests the option
+// plumbing end to end for every workload that accepts it.
+func TestMeasureRatesWithContentionOptions(t *testing.T) {
+	bo := backoff.NewExp(2, 64, 9)
+	if _, err := MeasureCASCounterRate(2, 2000, WithStructOptions(WithBackoff(bo))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureStackRate(2, 2000,
+		WithStructOptions(WithBackoff(bo), WithElimination(2), WithSeed(5))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureQueueRate(2, 2000, WithStructOptions(WithBackoff(bo))); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package native
+
+import (
+	"sync/atomic"
+
+	"pwf/internal/backoff"
+	"pwf/internal/rng"
+)
+
+// elimArray is the elimination layer of a Stack (Hendler, Shavit and
+// Yerushalmi's elimination-backoff stack, simplified to the
+// asymmetric-rendezvous protocol GC makes safe): a pusher that lost a
+// CAS on the top word parks its value in a random slot for a short
+// window; a popper that lost its CAS scans a random slot and, finding
+// a parked value, consumes it. The pair completes without ever
+// touching the top word again.
+//
+// Linearizability is preserved because an eliminated push/pop pair is
+// equivalent to the push linearizing immediately before the pop at the
+// moment the popper's CAS claims the slot — the stack's state before
+// and after the pair is identical, and no concurrent operation can
+// observe the parked value through the stack proper.
+//
+// The protocol is ABA-free without tagging: pushers only install
+// (nil -> item) and poppers and the owning pusher only remove
+// (item -> nil) a pointer they hold, and the garbage collector
+// guarantees a removed item's address is not reused while referenced.
+type elimArray[T any] struct {
+	slots []elimSlot[T]
+	picks *rng.Atomic
+	// window is how long (in backoff.SpinWait units) a pusher waits
+	// for a partner before reclaiming its slot.
+	window uint64
+}
+
+// elimSlot is a single exchange cell, padded so that concurrent
+// operations on different slots do not share a cache line.
+type elimSlot[T any] struct {
+	item atomic.Pointer[elimItem[T]]
+	_    [56]byte
+}
+
+type elimItem[T any] struct {
+	value T
+}
+
+// defaultElimWindow is the pusher's wait window in spin units — long
+// enough for a concurrently running popper to find the slot, short
+// enough to lose little when no popper comes.
+const defaultElimWindow = 1 << 9
+
+func newElimArray[T any](slots int, seed uint64) *elimArray[T] {
+	return &elimArray[T]{
+		slots:  make([]elimSlot[T], slots),
+		picks:  rng.NewAtomic(seed),
+		window: defaultElimWindow,
+	}
+}
+
+// tryPush parks v in a random slot and waits for a popper. ok reports
+// whether a popper consumed the value (the push is complete); steps
+// counts the shared-memory operations spent either way.
+func (a *elimArray[T]) tryPush(v T) (steps uint64, ok bool) {
+	slot := &a.slots[a.picks.Bounded(uint64(len(a.slots)))]
+	it := &elimItem[T]{value: v}
+	steps++
+	if !slot.item.CompareAndSwap(nil, it) {
+		return steps, false // slot busy; back to the main loop
+	}
+	backoff.SpinWait(a.window)
+	steps++
+	if slot.item.CompareAndSwap(it, nil) {
+		return steps, false // no popper came; value reclaimed
+	}
+	// Only a popper's consuming CAS can have removed it.
+	return steps, true
+}
+
+// tryPop scans a random slot for a parked push. ok reports whether a
+// value was consumed.
+func (a *elimArray[T]) tryPop() (v T, steps uint64, ok bool) {
+	slot := &a.slots[a.picks.Bounded(uint64(len(a.slots)))]
+	it := slot.item.Load()
+	steps++
+	if it == nil {
+		return v, steps, false
+	}
+	steps++
+	if !slot.item.CompareAndSwap(it, nil) {
+		return v, steps, false // the pusher reclaimed it, or another popper won
+	}
+	return it.value, steps, true
+}

@@ -1,0 +1,72 @@
+package native
+
+import (
+	"runtime"
+
+	"pwf/internal/backoff"
+)
+
+// Option configures a native structure at construction time. The
+// zero-value structures (and NewQueue with no options) behave exactly
+// as they always have: no backoff, no elimination, no sharding.
+// Options a structure does not support are ignored, so one option
+// slice can configure a whole experiment's worth of structures.
+type Option func(*structConfig)
+
+type structConfig struct {
+	backoff backoff.Strategy
+	elim    int
+	shards  int
+	batch   int64
+	seed    uint64
+}
+
+func applyOptions(opts []Option) structConfig {
+	cfg := structConfig{seed: 1}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithBackoff paces the structure's retry loop with s after every
+// failed CAS (see internal/backoff). A nil strategy means no backoff.
+func WithBackoff(s backoff.Strategy) Option {
+	return func(c *structConfig) { c.backoff = s }
+}
+
+// WithElimination gives a Stack an elimination array of the given
+// number of slots: colliding push/pop pairs exchange values on a
+// random slot instead of retrying on the hot top-of-stack word.
+// slots <= 0 disables elimination.
+func WithElimination(slots int) Option {
+	return func(c *structConfig) { c.elim = slots }
+}
+
+// WithShards sets a ShardedCounter's shard count. shards <= 0 selects
+// one shard per available CPU.
+func WithShards(shards int) Option {
+	return func(c *structConfig) { c.shards = shards }
+}
+
+// WithBatch sets a ShardedCounter's reconcile batch: a shard folds its
+// local increments into the shared total once per batch increments.
+// batch <= 0 selects DefaultBatch.
+func WithBatch(batch int) Option {
+	return func(c *structConfig) { c.batch = int64(batch) }
+}
+
+// WithSeed seeds the structure's deterministic randomness (the
+// elimination array's slot picks). The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(c *structConfig) { c.seed = seed }
+}
+
+func (c structConfig) shardCount() int {
+	if c.shards > 0 {
+		return c.shards
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -3,16 +3,21 @@ package native
 import (
 	"sync/atomic"
 
+	"pwf/internal/backoff"
 	"pwf/internal/obs"
 )
 
 // Queue is a Michael–Scott queue [17] on real atomics with the
 // original helping step; the Go garbage collector plays the role of
 // the reclamation scheme, as in the paper's experimental setting.
+// NewQueue with WithBackoff paces the retry loop after failed CAS
+// attempts and helping detours; with no options the queue retries
+// back to back as before.
 type Queue[T any] struct {
 	head  atomic.Pointer[queueNode[T]]
 	tail  atomic.Pointer[queueNode[T]]
 	stats *obs.OpStats
+	bo    backoff.Strategy
 }
 
 // Instrument attaches wait-free per-operation telemetry (steps, retry
@@ -26,9 +31,10 @@ type queueNode[T any] struct {
 	next  atomic.Pointer[queueNode[T]]
 }
 
-// NewQueue builds an empty queue with its initial dummy node.
-func NewQueue[T any]() *Queue[T] {
-	q := &Queue[T]{}
+// NewQueue builds an empty queue with its initial dummy node,
+// configured by opts (WithBackoff).
+func NewQueue[T any](opts ...Option) *Queue[T] {
+	q := &Queue[T]{bo: applyOptions(opts).backoff}
 	dummy := &queueNode[T]{}
 	q.head.Store(dummy)
 	q.tail.Store(dummy)
@@ -49,6 +55,9 @@ func (q *Queue[T]) Enqueue(v T) (steps uint64) {
 			q.tail.CompareAndSwap(tail, next)
 			steps++
 			fails++
+			if q.bo != nil {
+				q.bo.Pause(fails)
+			}
 			continue
 		}
 		if tail.next.CompareAndSwap(nil, n) {
@@ -56,6 +65,9 @@ func (q *Queue[T]) Enqueue(v T) (steps uint64) {
 			// Best-effort swing; failure is fine (someone helped).
 			q.tail.CompareAndSwap(tail, n)
 			steps++
+			if q.bo != nil {
+				q.bo.Succeeded()
+			}
 			if q.stats != nil {
 				q.stats.ObserveOp(steps, fails)
 			}
@@ -63,6 +75,9 @@ func (q *Queue[T]) Enqueue(v T) (steps uint64) {
 		}
 		steps++
 		fails++
+		if q.bo != nil {
+			q.bo.Pause(fails)
+		}
 	}
 }
 
@@ -79,6 +94,9 @@ func (q *Queue[T]) Dequeue() (v T, ok bool, steps uint64) {
 		steps++
 		if head == tail {
 			if next == nil {
+				if q.bo != nil {
+					q.bo.Succeeded()
+				}
 				if q.stats != nil {
 					q.stats.ObserveOp(steps, fails)
 				}
@@ -88,11 +106,17 @@ func (q *Queue[T]) Dequeue() (v T, ok bool, steps uint64) {
 			q.tail.CompareAndSwap(tail, next)
 			steps++
 			fails++
+			if q.bo != nil {
+				q.bo.Pause(fails)
+			}
 			continue
 		}
 		value := next.value
 		if q.head.CompareAndSwap(head, next) {
 			steps++
+			if q.bo != nil {
+				q.bo.Succeeded()
+			}
 			if q.stats != nil {
 				q.stats.ObserveOp(steps, fails)
 			}
@@ -100,6 +124,9 @@ func (q *Queue[T]) Dequeue() (v T, ok bool, steps uint64) {
 		}
 		steps++
 		fails++
+		if q.bo != nil {
+			q.bo.Pause(fails)
+		}
 	}
 }
 

@@ -87,7 +87,8 @@ func MeasureRate(workers, opsPerWorker int, makeOp func(worker int) Op) (RateRes
 type RateOption func(*rateConfig)
 
 type rateConfig struct {
-	stats *obs.OpStats
+	stats      *obs.OpStats
+	structOpts []Option
 }
 
 // WithOpStats instruments the measured structure with shared wait-free
@@ -95,6 +96,14 @@ type rateConfig struct {
 // recorded concurrently by every worker.
 func WithOpStats(st *obs.OpStats) RateOption {
 	return func(c *rateConfig) { c.stats = st }
+}
+
+// WithStructOptions forwards structure construction options
+// (WithBackoff, WithElimination, WithShards, ...) to the structure
+// under measurement; options the structure does not support are
+// ignored.
+func WithStructOptions(opts ...Option) RateOption {
+	return func(c *rateConfig) { c.structOpts = append(c.structOpts, opts...) }
 }
 
 func applyRateOptions(opts []RateOption) rateConfig {
@@ -107,11 +116,29 @@ func applyRateOptions(opts []RateOption) rateConfig {
 
 // MeasureCASCounterRate measures the CAS-loop counter of Appendix B.
 func MeasureCASCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
-	var c CASCounter
-	c.Instrument(applyRateOptions(opts).stats)
+	cfg := applyRateOptions(opts)
+	c := NewCASCounter(cfg.structOpts...)
+	c.Instrument(cfg.stats)
 	return MeasureRate(workers, opsPerWorker, func(int) Op {
 		return func() uint64 {
 			_, steps := c.Inc()
+			return steps
+		}
+	})
+}
+
+// MeasureShardedCounterRate measures the sharded counter with its
+// batched reconcile path. Worker w increments through shard
+// w % Shards(), so with shards >= workers the shared-memory traffic is
+// one fetch-and-add on a private line plus one reconcile per batch.
+func MeasureShardedCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
+	cfg := applyRateOptions(opts)
+	c := NewShardedCounter(cfg.structOpts...)
+	c.Instrument(cfg.stats)
+	return MeasureRate(workers, opsPerWorker, func(w int) Op {
+		shard := w % c.Shards()
+		return func() uint64 {
+			_, steps := c.Inc(shard)
 			return steps
 		}
 	})
@@ -122,6 +149,8 @@ func MeasureCASCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateR
 func MeasureAddCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
 	var c AddCounter
 	c.Instrument(applyRateOptions(opts).stats)
+	// Backoff/sharding options are meaningless for the wait-free
+	// baseline and are ignored.
 	return MeasureRate(workers, opsPerWorker, func(int) Op {
 		return func() uint64 {
 			_, steps := c.Inc()
@@ -133,8 +162,9 @@ func MeasureAddCounterRate(workers, opsPerWorker int, opts ...RateOption) (RateR
 // MeasureStackRate measures a Treiber stack under an alternating
 // push/pop workload.
 func MeasureStackRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
-	var s Stack[int]
-	s.Instrument(applyRateOptions(opts).stats)
+	cfg := applyRateOptions(opts)
+	s := NewStack[int](cfg.structOpts...)
+	s.Instrument(cfg.stats)
 	return MeasureRate(workers, opsPerWorker, func(w int) Op {
 		push := true
 		return func() uint64 {
@@ -153,8 +183,9 @@ func MeasureStackRate(workers, opsPerWorker int, opts ...RateOption) (RateResult
 // MeasureQueueRate measures a Michael–Scott queue under an
 // alternating enqueue/dequeue workload.
 func MeasureQueueRate(workers, opsPerWorker int, opts ...RateOption) (RateResult, error) {
-	q := NewQueue[int]()
-	q.Instrument(applyRateOptions(opts).stats)
+	cfg := applyRateOptions(opts)
+	q := NewQueue[int](cfg.structOpts...)
+	q.Instrument(cfg.stats)
 	return MeasureRate(workers, opsPerWorker, func(w int) Op {
 		enq := true
 		return func() uint64 {

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 	"sync/atomic"
@@ -114,22 +116,28 @@ func bucketHi(k int) uint64 {
 	return 1<<k - 1
 }
 
+// ErrNoObservations is returned by Quantile on a snapshot of a
+// histogram that has recorded nothing: there is no distribution to
+// query, and returning a number would present a fabricated bucket
+// edge as if it were real data.
+var ErrNoObservations = errors.New("obs: histogram has no observations")
+
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucketed
-// counts, interpolating linearly within the containing bucket. With no
-// observations it returns 0.
-func (s HistogramSnapshot) Quantile(q float64) float64 {
+// counts, interpolating linearly within the containing bucket. The
+// edges agree with stats.Quantile's conventions: q = 0 returns the
+// lower edge of the lowest non-empty bucket, q = 1 the upper edge of
+// the highest (== Max()), an empty snapshot returns an error rather
+// than a value, and a NaN or out-of-range q is rejected.
+func (s HistogramSnapshot) Quantile(q float64) (float64, error) {
 	var total uint64
 	for _, b := range s.Buckets {
 		total += b.Count
 	}
 	if total == 0 {
-		return 0
+		return 0, ErrNoObservations
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("obs: quantile %v out of [0,1]", q)
 	}
 	rank := q * float64(total)
 	var seen float64
@@ -140,12 +148,12 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 			if c > 0 {
 				frac = (rank - seen) / c
 			}
-			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo), nil
 		}
 		seen += c
 	}
 	last := s.Buckets[len(s.Buckets)-1]
-	return float64(last.Hi)
+	return float64(last.Hi), nil
 }
 
 // Max returns an upper bound on the largest observation: the top edge
@@ -166,8 +174,12 @@ func (s HistogramSnapshot) Max() uint64 {
 type OpStats struct {
 	Ops         Counter
 	CASFailures Counter
-	Retries     Histogram
-	Steps       Histogram
+	// Eliminations counts operations that completed on a stack's
+	// elimination array instead of the hot top-of-stack word (always 0
+	// for structures without elimination).
+	Eliminations Counter
+	Retries      Histogram
+	Steps        Histogram
 }
 
 // ObserveOp records one completed operation that took steps
@@ -184,10 +196,12 @@ func (s *OpStats) ObserveOp(steps, retries uint64) {
 }
 
 // Register names the stats' fields on reg under prefix: <prefix>_ops,
-// <prefix>_cas_failures, <prefix>_retries, <prefix>_steps.
+// <prefix>_cas_failures, <prefix>_eliminations, <prefix>_retries,
+// <prefix>_steps.
 func (s *OpStats) Register(reg *Registry, prefix string) {
 	reg.RegisterCounter(prefix+"_ops", &s.Ops)
 	reg.RegisterCounter(prefix+"_cas_failures", &s.CASFailures)
+	reg.RegisterCounter(prefix+"_eliminations", &s.Eliminations)
 	reg.RegisterHistogram(prefix+"_retries", &s.Retries)
 	reg.RegisterHistogram(prefix+"_steps", &s.Steps)
 }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -98,6 +100,29 @@ func TestReadEventsRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadEventsRejectsOversizedLine is a regression test: a line
+// longer than the scanner's 4 MiB cap used to surface as a bare
+// "token too long" with no position, which was useless against a
+// multi-gigabyte trace. It must be a wrapped bufio.ErrTooLong naming
+// the offending line number.
+func TestReadEventsRejectsOversizedLine(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString("{\"kind\":\"sched\",\"step\":1,\"pid\":0}\n")
+	in.WriteString("{\"kind\":\"pad\",\"x\":\"")
+	in.Write(bytes.Repeat([]byte("a"), 1<<22))
+	in.WriteString("\"}\n")
+	_, err := ReadEvents(&in)
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name the offending line: %v", err)
+	}
+}
+
 func TestMultiDropsNopAndNil(t *testing.T) {
 	if Multi() != nil {
 		t.Error("Multi() != nil")
@@ -157,15 +182,38 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 	h.Observe(1 << 20)
 	s := h.Snapshot()
-	if q := s.Quantile(0.5); q != 1 {
-		t.Errorf("median = %v, want 1", q)
+	if q, err := s.Quantile(0.5); err != nil || q != 1 {
+		t.Errorf("median = %v, %v, want 1", q, err)
 	}
-	if q := s.Quantile(1); q < 1<<19 {
-		t.Errorf("q=1 → %v, want inside the top bucket", q)
+	if q, err := s.Quantile(1); err != nil || q < 1<<19 {
+		t.Errorf("q=1 → %v, %v, want inside the top bucket", q, err)
 	}
+}
+
+// TestHistogramQuantileEdges pins the edge conventions shared with
+// stats.Quantile: empty input is an error (not a fabricated value),
+// q=0 is the lower edge of the lowest non-empty bucket, q=1 is Max(),
+// and NaN or out-of-range q is rejected.
+func TestHistogramQuantileEdges(t *testing.T) {
 	var empty Histogram
-	if q := empty.Snapshot().Quantile(0.5); q != 0 {
-		t.Errorf("empty quantile = %v, want 0", q)
+	if _, err := empty.Snapshot().Quantile(0.5); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty quantile error = %v, want ErrNoObservations", err)
+	}
+
+	var h Histogram
+	h.Observe(5)  // bucket [4,7]
+	h.Observe(40) // bucket [32,63]
+	s := h.Snapshot()
+	if q, err := s.Quantile(0); err != nil || q != 4 {
+		t.Errorf("q=0 → %v, %v, want lower edge 4", q, err)
+	}
+	if q, err := s.Quantile(1); err != nil || q != float64(s.Max()) {
+		t.Errorf("q=1 → %v, %v, want Max()=%d", q, err, s.Max())
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(bad); err == nil {
+			t.Errorf("q=%v accepted, want error", bad)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -125,12 +126,18 @@ func (t *TraceRecorder) Flush() error {
 	return t.err
 }
 
+// maxTraceLine is the largest NDJSON line ReadEvents accepts. Events
+// written by TraceRecorder are a few hundred bytes, so the 4 MiB cap
+// only triggers on corrupt or non-trace input.
+const maxTraceLine = 1 << 22
+
 // ReadEvents parses an NDJSON event stream (as written by
 // TraceRecorder) back into events, preserving order. Blank lines are
-// skipped; any malformed line is an error naming its line number.
+// skipped; any malformed line — including one longer than the 4 MiB
+// scanner limit — is an error naming its line number.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sc.Buffer(make([]byte, 0, 1<<16), maxTraceLine)
 	var out []Event
 	line := 0
 	for sc.Scan() {
@@ -146,6 +153,12 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops at the offending line without consuming
+			// it, so the failure is on the line after the last good one.
+			return nil, fmt.Errorf("obs: trace line %d exceeds %d-byte limit: %w",
+				line+1, maxTraceLine, err)
+		}
 		return nil, fmt.Errorf("obs: read trace: %w", err)
 	}
 	return out, nil

@@ -133,12 +133,15 @@ func Mean(xs []float64) (float64, error) {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics. xs is not modified.
+// interpolation between order statistics. xs is not modified. The
+// edges mirror obs.HistogramSnapshot.Quantile: q = 0 returns the
+// minimum, q = 1 the maximum, empty input returns ErrNoData, and a
+// NaN or out-of-range q is rejected.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrNoData
 	}
-	if q < 0 || q > 1 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		return 0, errors.New("stats: quantile out of [0,1]")
 	}
 	sorted := make([]float64, len(xs))

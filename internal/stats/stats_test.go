@@ -127,6 +127,12 @@ func TestQuantileErrors(t *testing.T) {
 	if _, err := Quantile([]float64{1}, 1.1); err == nil {
 		t.Error("q > 1: nil error")
 	}
+	// NaN satisfies neither q < 0 nor q > 1, so it needs its own guard:
+	// without one it would flow into the order-statistic arithmetic and
+	// produce a garbage index instead of an error.
+	if _, err := Quantile([]float64{1, 2}, math.NaN()); err == nil {
+		t.Error("NaN q: nil error")
+	}
 }
 
 func TestChiSquareUniformPerfect(t *testing.T) {

@@ -1,9 +1,14 @@
 package sweep
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"pwf/internal/chains"
 )
 
 func TestChainCacheHitsOnSecondBuild(t *testing.T) {
@@ -125,6 +130,80 @@ func TestChainCacheConcurrentSingleBuild(t *testing.T) {
 	}
 	if c.Misses() != 1 {
 		t.Errorf("misses=%d, want exactly 1 build", c.Misses())
+	}
+}
+
+// TestChainCacheConcurrentOverlappingKeys hammers the cache from
+// GOMAXPROCS goroutines whose key sets overlap, counting actual
+// builder invocations with an atomic per key. Single-computation
+// semantics must hold under -race: each key is built exactly once no
+// matter how many goroutines race on it, every requester sees the
+// builder's result, and the hit/miss counters account for every
+// lookup.
+func TestChainCacheConcurrentOverlappingKeys(t *testing.T) {
+	c := NewChainCache()
+	const (
+		keys          = 8
+		getsPerWorker = 200
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	builds := make([]atomic.Uint64, keys)
+	// Distinct sentinel per key so we can check every get returned its
+	// own key's build, not a neighbour's. The sentinels must be real
+	// solvable analyses because get eagerly solves the stationary
+	// distribution; repeated construction yields distinct pointers.
+	analyses := make([]*chains.Analysis, keys)
+	for k := range analyses {
+		a, _, err := chains.SCUSystem(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyses[k] = a
+	}
+
+	var wg sync.WaitGroup
+	var wrong atomic.Uint64
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < getsPerWorker; i++ {
+				// Stride by worker so goroutines collide on every key
+				// rather than marching in lockstep.
+				k := (i*(w+1) + w) % keys
+				a, lift, err := c.get(fmt.Sprintf("hammer-%d", k), func() (*chains.Analysis, []int, error) {
+					builds[k].Add(1)
+					return analyses[k], []int{k}, nil
+				})
+				if err != nil || a != analyses[k] || len(lift) != 1 || lift[0] != k {
+					wrong.Add(1)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := wrong.Load(); n != 0 {
+		t.Errorf("%d gets saw the wrong analysis/lift/err", n)
+	}
+	for k := range builds {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times, want exactly 1", k, n)
+		}
+	}
+	total := uint64(workers) * getsPerWorker
+	if got := c.Hits() + c.Misses(); got != total {
+		t.Errorf("hits+misses = %d, want %d", got, total)
+	}
+	if m := c.Misses(); m != keys {
+		t.Errorf("misses = %d, want one per key (%d)", m, keys)
 	}
 }
 
