@@ -1,0 +1,353 @@
+// Command pwfbench measures the cost of scheduler sampling and of
+// end-to-end simulation, and emits the results as machine-readable
+// JSON (BENCH_sched.json at the repository root) so successive PRs
+// can diff steps/sec instead of re-reading prose. It times two things:
+//
+//   - the per-draw cost of every stochastic scheduler, fast path
+//     (alias table / Fenwick tree / dense active set) against the
+//     naive O(n) reference samplers, over the paper-scale process
+//     counts; and
+//   - the end-to-end simulated steps per second of a sweep job at the
+//     same process counts, which is what the ROADMAP's "as fast as
+//     the hardware allows" goal is scored on.
+//
+// Usage:
+//
+//	pwfbench                     # print JSON to stdout
+//	pwfbench -out BENCH_sched.json
+//	pwfbench -n 16,256,1024,4096 -draws 200000 -steps 100000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pwfbench:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the top-level BENCH_sched.json schema.
+type Report struct {
+	// Generated is the RFC 3339 measurement time.
+	Generated string `json:"generated"`
+	// Host describes the measuring machine; wall-clock numbers are
+	// only comparable within one host.
+	Host Host `json:"host"`
+	// Draw holds per-draw scheduler sampling costs.
+	Draw []DrawResult `json:"draw"`
+	// Sweep holds end-to-end simulation throughput.
+	Sweep []SweepResult `json:"sweep"`
+}
+
+// Host identifies the benchmark environment.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// DrawResult is one (scheduler, implementation, n) sampling cost.
+type DrawResult struct {
+	Sched string `json:"sched"`
+	// Impl is the sampling structure: alias, fenwick, dense, or naive.
+	Impl string  `json:"impl"`
+	N    int     `json:"n"`
+	NsOp float64 `json:"ns_per_draw"`
+	// SpeedupVsNaive is NsOp(naive)/NsOp for fast rows, 1 for naive
+	// rows.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// SweepResult is one end-to-end simulation throughput point.
+type SweepResult struct {
+	Sched       string  `json:"sched"`
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	Steps       uint64  `json:"steps"`
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pwfbench", flag.ContinueOnError)
+	var (
+		outPath = fs.String("out", "", "write JSON here instead of stdout")
+		nList   = fs.String("n", "16,256,1024,4096", "comma-separated process counts")
+		draws   = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
+		steps   = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
+		reps    = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseNList(*nList)
+	if err != nil {
+		return err
+	}
+	if *draws < 1 || *steps < 1 || *reps < 1 {
+		return fmt.Errorf("-draws, -steps and -reps must be >= 1")
+	}
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	for _, n := range ns {
+		res, err := measureDraws(n, *draws, *reps)
+		if err != nil {
+			return err
+		}
+		rep.Draw = append(rep.Draw, res...)
+	}
+	for _, n := range ns {
+		res, err := measureSweeps(n, *steps, *reps)
+		if err != nil {
+			return err
+		}
+		rep.Sweep = append(rep.Sweep, res...)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, enc, 0o644)
+	}
+	_, err = out.Write(enc)
+	return err
+}
+
+func parseNList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 8 {
+			return nil, fmt.Errorf("bad -n entry %q (need integers >= 8)", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -n list")
+	}
+	return out, nil
+}
+
+// samplerSpec names one (scheduler, impl) timing configuration. The
+// build function crashes n/8 processes first so the measured path is
+// the crash-mode one — the case the constant-time structures exist
+// for — and returns the draw closure.
+type samplerSpec struct {
+	sched string
+	impl  string
+	build func(n int) (func() (int, error), error)
+}
+
+func samplers() []samplerSpec {
+	crashSome := func(c sched.Crasher, n int) error {
+		for pid := 0; pid < n/8; pid++ {
+			if err := c.Crash(pid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	weights := func(n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(i%17 + 1)
+		}
+		return ws
+	}
+	tickets := func(n int) []int {
+		ts := make([]int, n)
+		for i := range ts {
+			ts[i] = i%9 + 1
+		}
+		return ts
+	}
+	return []samplerSpec{
+		{"uniform", "dense", func(n int) (func() (int, error), error) {
+			u, err := sched.NewUniform(n, rng.New(1))
+			if err != nil {
+				return nil, err
+			}
+			return u.Next, crashSome(u, n)
+		}},
+		{"uniform", "naive", func(n int) (func() (int, error), error) {
+			u, err := sched.NewUniform(n, rng.New(1))
+			if err != nil {
+				return nil, err
+			}
+			return u.NextNaive, crashSome(u, n)
+		}},
+		{"weighted", "alias", func(n int) (func() (int, error), error) {
+			w, err := sched.NewWeighted(weights(n), rng.New(2))
+			if err != nil {
+				return nil, err
+			}
+			return w.Next, crashSome(w, n)
+		}},
+		{"weighted", "naive", func(n int) (func() (int, error), error) {
+			w, err := sched.NewWeighted(weights(n), rng.New(2))
+			if err != nil {
+				return nil, err
+			}
+			return w.NextNaive, crashSome(w, n)
+		}},
+		{"lottery", "fenwick", func(n int) (func() (int, error), error) {
+			l, err := sched.NewLottery(tickets(n), rng.New(3))
+			if err != nil {
+				return nil, err
+			}
+			return l.Next, crashSome(l, n)
+		}},
+		{"lottery", "naive", func(n int) (func() (int, error), error) {
+			l, err := sched.NewLottery(tickets(n), rng.New(3))
+			if err != nil {
+				return nil, err
+			}
+			return l.NextNaive, crashSome(l, n)
+		}},
+		{"sticky", "dense", func(n int) (func() (int, error), error) {
+			s, err := sched.NewSticky(n, 0.8, rng.New(4))
+			if err != nil {
+				return nil, err
+			}
+			return s.Next, crashSome(s, n)
+		}},
+		{"sticky", "naive", func(n int) (func() (int, error), error) {
+			s, err := sched.NewSticky(n, 0.8, rng.New(4))
+			if err != nil {
+				return nil, err
+			}
+			return s.NextNaive, crashSome(s, n)
+		}},
+		{"phased", "alias", func(n int) (func() (int, error), error) {
+			p, err := sched.NewPhased(n, phases(weights(n)), rng.New(5))
+			if err != nil {
+				return nil, err
+			}
+			return p.Next, crashSome(p, n)
+		}},
+		{"phased", "naive", func(n int) (func() (int, error), error) {
+			p, err := sched.NewPhased(n, phases(weights(n)), rng.New(5))
+			if err != nil {
+				return nil, err
+			}
+			return p.NextNaive, crashSome(p, n)
+		}},
+	}
+}
+
+func phases(ws []float64) []sched.Phase {
+	return []sched.Phase{
+		{Weights: ws, Steps: 64},
+		{Weights: ws, Steps: 32},
+	}
+}
+
+// sink keeps the timed loops from being dead-code-eliminated.
+var sink int
+
+func measureDraws(n, draws, reps int) ([]DrawResult, error) {
+	var out []DrawResult
+	naiveNs := map[string]float64{}
+	for _, spec := range samplers() {
+		next, err := spec.build(n)
+		if err != nil {
+			return nil, fmt.Errorf("build %s/%s n=%d: %w", spec.sched, spec.impl, n, err)
+		}
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < draws; i++ {
+				pid, err := next()
+				if err != nil {
+					return nil, fmt.Errorf("draw %s/%s n=%d: %w", spec.sched, spec.impl, n, err)
+				}
+				sink += pid
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(draws)
+			if r == 0 || ns < best {
+				best = ns
+			}
+		}
+		res := DrawResult{Sched: spec.sched, Impl: spec.impl, N: n, NsOp: best}
+		if spec.impl == "naive" {
+			naiveNs[spec.sched] = best
+			res.SpeedupVsNaive = 1
+		}
+		out = append(out, res)
+	}
+	// The naive row of each scheduler is measured after its fast row,
+	// so fill speedups in a second pass.
+	for i := range out {
+		if out[i].Impl != "naive" {
+			if nn, ok := naiveNs[out[i].Sched]; ok && out[i].NsOp > 0 {
+				out[i].SpeedupVsNaive = nn / out[i].NsOp
+			}
+		}
+	}
+	return out, nil
+}
+
+func measureSweeps(n int, steps uint64, reps int) ([]SweepResult, error) {
+	var out []SweepResult
+	for _, spec := range []sweep.SchedulerSpec{
+		{Kind: sweep.SchedUniform},
+		{Kind: sweep.SchedLottery},
+	} {
+		job := sweep.Job{
+			Workload: sweep.Workload{Kind: sweep.SCU, S: 1},
+			N:        n,
+			Sched:    spec,
+			Steps:    steps,
+			Crash:    1,
+		}
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := sweep.RunJob(job, 1, nil); err != nil {
+				return nil, fmt.Errorf("sweep %s n=%d: %w", spec.Kind, n, err)
+			}
+			if d := time.Since(start); r == 0 || d < best {
+				best = d
+			}
+		}
+		sec := best.Seconds()
+		out = append(out, SweepResult{
+			Sched:       string(spec.Kind),
+			Workload:    string(sweep.SCU),
+			N:           n,
+			Steps:       steps,
+			NsPerStep:   float64(best.Nanoseconds()) / float64(steps),
+			StepsPerSec: float64(steps) / sec,
+		})
+	}
+	return out, nil
+}

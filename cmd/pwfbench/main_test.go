@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEmitsValidReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "16", "-draws", "200", "-steps", "500", "-reps", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Host.GoVersion == "" || rep.Generated == "" {
+		t.Errorf("missing host/timestamp metadata: %+v", rep.Host)
+	}
+	// 5 schedulers x 2 impls at one n.
+	if len(rep.Draw) != 10 {
+		t.Errorf("got %d draw rows, want 10", len(rep.Draw))
+	}
+	for _, d := range rep.Draw {
+		if d.NsOp <= 0 {
+			t.Errorf("%s/%s: non-positive ns/draw %v", d.Sched, d.Impl, d.NsOp)
+		}
+		if d.Impl == "naive" && d.SpeedupVsNaive != 1 {
+			t.Errorf("%s/naive: speedup %v, want 1", d.Sched, d.SpeedupVsNaive)
+		}
+		if d.Impl != "naive" && d.SpeedupVsNaive <= 0 {
+			t.Errorf("%s/%s: missing speedup", d.Sched, d.Impl)
+		}
+	}
+	// 2 scheduler kinds at one n.
+	if len(rep.Sweep) != 2 {
+		t.Errorf("got %d sweep rows, want 2", len(rep.Sweep))
+	}
+	for _, s := range rep.Sweep {
+		if s.StepsPerSec <= 0 || s.NsPerStep <= 0 {
+			t.Errorf("%s n=%d: non-positive throughput %+v", s.Sched, s.N, s)
+		}
+	}
+}
+
+func TestRunWritesOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-n", "16", "-draws", "100", "-steps", "200", "-reps", "1", "-out", path}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON in -out file: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-n", "abc"},
+		{"-n", ""},
+		{"-draws", "0"},
+		{"-steps", "0"},
+		{"-reps", "0"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v: nil error", args)
+		}
+	}
+}

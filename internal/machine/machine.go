@@ -246,11 +246,30 @@ func (s *Sim) SetRecorder(r obs.Recorder) {
 	}
 }
 
-// Run advances the simulation by steps time units.
+// Run advances the simulation by steps time units. When no crash is
+// pending and no recorder is installed — the configuration every
+// sweep job runs in — it drops into a tight loop that skips the
+// per-step feature checks, so one simulated step is one scheduler
+// draw, one process step, and nothing else: no allocation, no trace
+// plumbing (TestRunZeroAllocs pins this).
 func (s *Sim) Run(steps uint64) error {
-	for i := uint64(0); i < steps; i++ {
+	i := uint64(0)
+	for i < steps && (len(s.crashPlan) > 0 || s.rec != nil) {
+		// Slow path: crashes still pending (the plan only shrinks) or
+		// telemetry enabled for the whole run.
 		if err := s.Step(); err != nil {
 			return err
+		}
+		i++
+	}
+	for ; i < steps; i++ {
+		pid, err := s.sch.Next()
+		if err != nil {
+			return fmt.Errorf("machine: schedule step %d: %w", s.steps, err)
+		}
+		s.steps++
+		if s.procs[pid].Step(s.mem) {
+			s.recordCompletion(pid)
 		}
 	}
 	return nil

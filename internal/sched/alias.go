@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"errors"
+
+	"pwf/internal/rng"
+)
+
+// aliasTable draws from a fixed discrete distribution over an
+// arbitrary set of process ids in O(1) per draw, using Walker's alias
+// method in Vose's numerically stable formulation. Construction is
+// O(k) for k entries, so a table amortizes after a handful of draws —
+// the schedulers rebuild only when the distribution itself changes
+// (a crash), never per step.
+//
+// The table is a flat pair of arrays: slot i accepts its own id with
+// probability prob[i] and otherwise defers to the id in its alias
+// slot. A draw is one bounded-uniform pick plus one float compare,
+// independent of k.
+//
+// The zero value is empty; call build before draw. All internal
+// slices are reused across builds, so rebuilding on crash allocates
+// nothing once the table has reached its high-water size.
+type aliasTable struct {
+	pids  []int32   // slot -> process id
+	prob  []float64 // slot -> acceptance probability
+	alias []int32   // slot -> fallback slot
+
+	// Build scratch, reused across rebuilds.
+	scaled []float64
+	small  []int32
+	large  []int32
+}
+
+// errNoMass is returned when a table is built with no positive weight.
+var errNoMass = errors.New("sched: alias table has no positive mass")
+
+// build (re)constructs the table for the distribution assigning
+// weights[i] to pids[i]. Weights must be non-negative with a positive
+// sum; ids and weights must have equal length. The input slices are
+// not retained.
+func (t *aliasTable) build(pids []int32, weights []float64) error {
+	k := len(pids)
+	if k == 0 || len(weights) != k {
+		return errors.New("sched: alias table needs matching non-empty ids and weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return errors.New("sched: alias table weight is negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return errNoMass
+	}
+
+	t.pids = append(t.pids[:0], pids...)
+	t.prob = grow(t.prob, k)
+	t.alias = growInt32(t.alias, k)
+	t.scaled = grow(t.scaled, k)
+	t.small = t.small[:0]
+	t.large = t.large[:0]
+
+	// Scale to mean 1 and partition into under- and over-full slots.
+	scale := float64(k) / total
+	for i, w := range weights {
+		t.scaled[i] = w * scale
+		if t.scaled[i] < 1 {
+			t.small = append(t.small, int32(i))
+		} else {
+			t.large = append(t.large, int32(i))
+		}
+	}
+
+	// Pair each under-full slot with an over-full donor. The donor's
+	// residual mass reclassifies it; floating-point drift can strand a
+	// few slots in either stack at the end, and those are exactly the
+	// slots whose scaled weight is 1 up to rounding.
+	for len(t.small) > 0 && len(t.large) > 0 {
+		s := t.small[len(t.small)-1]
+		t.small = t.small[:len(t.small)-1]
+		l := t.large[len(t.large)-1]
+
+		t.prob[s] = t.scaled[s]
+		t.alias[s] = l
+		t.scaled[l] -= 1 - t.scaled[s]
+		if t.scaled[l] < 1 {
+			t.large = t.large[:len(t.large)-1]
+			t.small = append(t.small, l)
+		}
+	}
+	for _, i := range t.small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range t.large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return nil
+}
+
+// size returns the number of slots (the support size).
+func (t *aliasTable) size() int { return len(t.pids) }
+
+// draw returns a process id distributed per the built table: O(1),
+// two rng draws, no allocation.
+func (t *aliasTable) draw(src *rng.Source) int {
+	slot := src.Intn(len(t.pids))
+	if src.Float64() < t.prob[slot] {
+		return int(t.pids[slot])
+	}
+	return int(t.pids[t.alias[slot]])
+}
+
+// grow returns s resized to length n, reusing capacity.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt32 is grow for []int32.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,77 @@
+package sched
+
+// fenwick is a binary-indexed tree over non-negative integer
+// frequencies, the structure behind the Lottery scheduler's O(log n)
+// draws: prefix sums, point updates, and the inverse-CDF search
+// ("find the process holding the winning ticket") are all O(log n),
+// and construction from an initial frequency vector is O(n).
+//
+// Indices are 0-based at the API boundary; the tree array is 1-based
+// internally as usual.
+type fenwick struct {
+	tree []int64
+}
+
+// newFenwick returns a tree over n all-zero frequencies.
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int64, n+1)}
+}
+
+// n returns the number of indexed frequencies.
+func (f *fenwick) n() int { return len(f.tree) - 1 }
+
+// init resets the tree to the given frequencies in O(n).
+func (f *fenwick) init(vals []int64) {
+	n := len(vals)
+	if len(f.tree) != n+1 {
+		f.tree = make([]int64, n+1)
+	} else {
+		for i := range f.tree {
+			f.tree[i] = 0
+		}
+	}
+	for i := 1; i <= n; i++ {
+		f.tree[i] += vals[i-1]
+		if j := i + (i & -i); j <= n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+}
+
+// add adds delta to the frequency at index i.
+func (f *fenwick) add(i int, delta int64) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// prefix returns the sum of frequencies at indices [0, i).
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// find returns the smallest index i with prefix(i+1) > k — the index
+// owning the k-th unit of cumulative mass. With ticket counts as
+// frequencies this maps a winning ticket to its holder, skipping
+// zero-frequency (crashed) indices, exactly as a linear scan over the
+// per-process cumulative totals would. The caller must ensure
+// 0 <= k < total mass.
+func (f *fenwick) find(k int64) int {
+	n := f.n()
+	pos := 0
+	bit := 1
+	for bit<<1 <= n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		if next := pos + bit; next <= n && f.tree[next] <= k {
+			k -= f.tree[next]
+			pos = next
+		}
+	}
+	return pos
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pwf/internal/rng"
+)
+
+func TestFenwickPrefixAndAdd(t *testing.T) {
+	f := newFenwick(5)
+	f.init([]int64{3, 0, 2, 7, 1})
+	wantPrefix := []int64{0, 3, 3, 5, 12, 13}
+	for i, want := range wantPrefix {
+		if got := f.prefix(i); got != want {
+			t.Errorf("prefix(%d) = %d, want %d", i, got, want)
+		}
+	}
+	f.add(1, 4)
+	f.add(3, -7)
+	if got := f.prefix(5); got != 10 {
+		t.Errorf("total after updates = %d, want 10", got)
+	}
+	if got := f.prefix(2); got != 7 {
+		t.Errorf("prefix(2) after add = %d, want 7", got)
+	}
+}
+
+func TestFenwickFindMatchesLinearScan(t *testing.T) {
+	// Property: for random non-negative frequency vectors (zeros
+	// included, as crashed processes produce) and every k below the
+	// total, find(k) equals the first index whose cumulative sum
+	// exceeds k.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		src := rng.New(seed)
+		vals := make([]int64, n)
+		var total int64
+		for i := range vals {
+			vals[i] = int64(src.Intn(5)) // 0..4, zeros common
+			total += vals[i]
+		}
+		if total == 0 {
+			vals[n-1] = 1
+			total = 1
+		}
+		fen := newFenwick(n)
+		fen.init(vals)
+		for k := int64(0); k < total; k++ {
+			want := 0
+			acc := vals[0]
+			for k >= acc {
+				want++
+				acc += vals[want]
+			}
+			if got := fen.find(k); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenwickInitReuses(t *testing.T) {
+	f := newFenwick(3)
+	f.init([]int64{1, 2, 3})
+	f.init([]int64{5, 5, 5})
+	if got := f.prefix(3); got != 15 {
+		t.Errorf("total after re-init = %d, want 15", got)
+	}
+	if got := f.find(9); got != 1 {
+		t.Errorf("find(9) = %d, want 1", got)
+	}
+}
+
+func TestFenwickSingleIndex(t *testing.T) {
+	f := newFenwick(1)
+	f.init([]int64{4})
+	for k := int64(0); k < 4; k++ {
+		if got := f.find(k); got != 0 {
+			t.Errorf("find(%d) = %d, want 0", k, got)
+		}
+	}
+}

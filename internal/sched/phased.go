@@ -15,14 +15,24 @@ import (
 // load spike and then flips). The threshold θ is the worst-case
 // minimum probability across all phases, so the scheduler remains
 // stochastic as long as every weight is positive.
+//
+// Each phase — each row of the cyclic modulation — owns a Walker
+// alias table over the active processes, so the per-step draw is O(1)
+// regardless of n and of the number of phases. The tables depend only
+// on the phase weights restricted to A_τ and are rebuilt exactly when
+// a process crashes.
 type Phased struct {
-	src     *rng.Source
-	phases  []Phase
-	active  activeSet
-	idx     int    // current phase
-	left    uint64 // steps remaining in the current phase
-	theta   float64
-	scratch []float64
+	src    *rng.Source
+	phases []Phase
+	active activeSet
+	idx    int    // current phase
+	left   uint64 // steps remaining in the current phase
+	theta  float64
+
+	tables []aliasTable
+	wBuf   []float64 // rebuild scratch
+
+	scratch []float64 // NextNaive scratch
 }
 
 // Phase is one segment of a Phased schedule.
@@ -79,19 +89,40 @@ func NewPhased(n int, phases []Phase, src *rng.Source) (*Phased, error) {
 		}
 		cp[i] = Phase{Weights: ws, Steps: ph.Steps}
 	}
-	return &Phased{
+	p := &Phased{
 		src:     src,
 		phases:  cp,
 		active:  newActiveSet(n),
 		left:    cp[0].Steps,
 		theta:   theta,
+		tables:  make([]aliasTable, len(cp)),
 		scratch: make([]float64, n),
-	}, nil
+	}
+	if err := p.rebuild(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
-// Next implements Scheduler.
+// rebuild reconstructs every phase's alias table over the currently
+// active processes; called at construction and after every crash.
+func (p *Phased) rebuild() error {
+	for i := range p.phases {
+		p.wBuf = grow(p.wBuf, len(p.active.ids))
+		for j, pid := range p.active.ids {
+			p.wBuf[j] = p.phases[i].Weights[pid]
+		}
+		if err := p.tables[i].build(p.active.ids, p.wBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Scheduler in O(1) via the current phase's alias
+// table.
 func (p *Phased) Next() (int, error) {
-	if p.active.correct == 0 {
+	if p.active.correct() == 0 {
 		return 0, ErrAllCrashed
 	}
 	if p.left == 0 {
@@ -99,19 +130,7 @@ func (p *Phased) Next() (int, error) {
 		p.left = p.phases[p.idx].Steps
 	}
 	p.left--
-	weights := p.phases[p.idx].Weights
-	for pid := range weights {
-		if p.active.alive[pid] {
-			p.scratch[pid] = weights[pid]
-		} else {
-			p.scratch[pid] = 0
-		}
-	}
-	pid, err := p.src.Categorical(p.scratch)
-	if err != nil {
-		return 0, fmt.Errorf("sched: phased draw: %w", err)
-	}
-	return pid, nil
+	return p.tables[p.idx].draw(p.src), nil
 }
 
 // N implements Scheduler.
@@ -124,11 +143,17 @@ func (p *Phased) Threshold() float64 { return p.theta }
 // CurrentPhase returns the index of the phase governing the next step.
 func (p *Phased) CurrentPhase() int { return p.idx }
 
-// Crash implements Crasher.
-func (p *Phased) Crash(pid int) error { return p.active.crash(pid) }
+// Crash implements Crasher, rebuilding every phase table over the
+// shrunken active set.
+func (p *Phased) Crash(pid int) error {
+	if err := p.active.crash(pid); err != nil {
+		return err
+	}
+	return p.rebuild()
+}
 
 // Correct implements Crasher.
 func (p *Phased) Correct(pid int) bool { return p.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (p *Phased) NumCorrect() int { return p.active.correct }
+func (p *Phased) NumCorrect() int { return p.active.correct() }

@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"testing"
+
+	"pwf/internal/rng"
 )
 
 func TestReplayValidation(t *testing.T) {
@@ -85,5 +87,57 @@ func TestReplayZeroThreshold(t *testing.T) {
 	}
 	if r.N() != 2 {
 		t.Errorf("N = %d", r.N())
+	}
+}
+
+// TestReplayRecordedNaiveTraceByteForByte closes the compatibility
+// loop of the sampler rewrite: a schedule trace recorded under the
+// superseded O(n) samplers (the NextNaive reference path, i.e. what
+// any pre-rewrite run would have written to disk) must replay
+// element-for-element through the untouched Replay scheduler.
+func TestReplayRecordedNaiveTraceByteForByte(t *testing.T) {
+	const n = 8
+	samplers := map[string]func() (int, error){}
+
+	u := mustUniform(t, n, 31)
+	if err := u.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	samplers["uniform"] = u.NextNaive
+
+	l, err := NewLottery([]int{1, 2, 3, 4, 5, 6, 7, 8}, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	samplers["lottery"] = l.NextNaive
+
+	for name, next := range samplers {
+		trace := make([]int32, 4096)
+		for i := range trace {
+			pid, err := next()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			trace[i] = int32(pid)
+		}
+		r, err := NewReplay(n, trace, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, want := range trace {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("%s: step %d: %v", name, i, err)
+			}
+			if got != int(want) {
+				t.Fatalf("%s: step %d: replayed %d, recorded %d", name, i, got, want)
+			}
+		}
+		if _, err := r.Next(); !errors.Is(err, ErrTraceExhausted) {
+			t.Fatalf("%s: after trace: %v", name, err)
+		}
 	}
 }

@@ -21,6 +21,16 @@
 //   - RoundRobin: the deterministic fair baseline (θ = 0 but uniformly
 //     isolating).
 //   - Adversarial: a strategy-driven worst case (θ = 0).
+//
+// Every stochastic draw is constant-time or logarithmic in n, so a
+// simulation of S steps spends O(S) — not O(S·n) — in scheduling:
+// Uniform and Sticky draw from a dense swap-remove active set (O(1)),
+// Weighted and Phased draw from Walker alias tables rebuilt only on
+// crash (O(1) per draw), and Lottery draws through a Fenwick tree
+// (O(log n) per draw and per ticket transfer). The superseded O(n)
+// scan samplers survive as the NextNaive methods (see naive.go),
+// which the equivalence tests and before/after benchmarks use as the
+// reference implementation.
 package sched
 
 import (
@@ -71,18 +81,27 @@ type Crasher interface {
 }
 
 // activeSet tracks the possibly-active processes shared by the
-// stochastic schedulers.
+// stochastic schedulers. It keeps three views in sync: a boolean
+// membership array (O(1) Correct), a dense id list maintained by
+// swap-remove (O(1) uniform draws with no per-step allocation, at the
+// cost of the list being unordered after a crash), and the inverse
+// permutation pos mapping each live pid to its slot in ids.
 type activeSet struct {
-	alive   []bool
-	correct int
+	alive []bool
+	ids   []int32 // dense list of correct pids; unordered after crashes
+	pos   []int32 // pid -> index into ids, -1 once crashed
 }
 
 func newActiveSet(n int) activeSet {
 	alive := make([]bool, n)
+	ids := make([]int32, n)
+	pos := make([]int32, n)
 	for i := range alive {
 		alive[i] = true
+		ids[i] = int32(i)
+		pos[i] = int32(i)
 	}
-	return activeSet{alive: alive, correct: n}
+	return activeSet{alive: alive, ids: ids, pos: pos}
 }
 
 func (a *activeSet) crash(pid int) error {
@@ -92,11 +111,17 @@ func (a *activeSet) crash(pid int) error {
 	if !a.alive[pid] {
 		return fmt.Errorf("%w: %d", ErrAlreadyDead, pid)
 	}
-	if a.correct == 1 {
+	if len(a.ids) == 1 {
 		return ErrLastProcess
 	}
 	a.alive[pid] = false
-	a.correct--
+	last := int32(len(a.ids) - 1)
+	moved := a.ids[last]
+	slot := a.pos[pid]
+	a.ids[slot] = moved
+	a.pos[moved] = slot
+	a.ids = a.ids[:last]
+	a.pos[pid] = -1
 	return nil
 }
 
@@ -104,12 +129,20 @@ func (a *activeSet) isCorrect(pid int) bool {
 	return pid >= 0 && pid < len(a.alive) && a.alive[pid]
 }
 
+// correct returns |A_τ|.
+func (a *activeSet) correct() int { return len(a.ids) }
+
+// pick returns a uniformly random correct pid in O(1).
+func (a *activeSet) pick(src *rng.Source) int {
+	return int(a.ids[src.Intn(len(a.ids))])
+}
+
 // Uniform is the uniform stochastic scheduler of Section 2.3: every
 // active process is scheduled with probability 1/|A_τ| at every step.
 type Uniform struct {
-	src    *rng.Source
-	active activeSet
-	ids    []int // scratch: ids of correct processes
+	src      *rng.Source
+	active   activeSet
+	naiveIDs []int // scratch for NextNaive only
 }
 
 var (
@@ -129,22 +162,13 @@ func NewUniform(n int, src *rng.Source) (*Uniform, error) {
 	return &Uniform{src: src, active: newActiveSet(n)}, nil
 }
 
-// Next implements Scheduler.
+// Next implements Scheduler in O(1): one bounded draw from the dense
+// active-id list, crashes or not.
 func (u *Uniform) Next() (int, error) {
-	switch u.active.correct {
-	case 0:
+	if u.active.correct() == 0 {
 		return 0, ErrAllCrashed
-	case len(u.active.alive):
-		// Fast path: no crashes yet.
-		return u.src.Intn(len(u.active.alive)), nil
 	}
-	u.ids = u.ids[:0]
-	for pid, ok := range u.active.alive {
-		if ok {
-			u.ids = append(u.ids, pid)
-		}
-	}
-	return u.ids[u.src.Intn(len(u.ids))], nil
+	return u.active.pick(u.src), nil
 }
 
 // N implements Scheduler.
@@ -161,18 +185,27 @@ func (u *Uniform) Crash(pid int) error { return u.active.crash(pid) }
 func (u *Uniform) Correct(pid int) bool { return u.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (u *Uniform) NumCorrect() int { return u.active.correct }
+func (u *Uniform) NumCorrect() int { return u.active.correct() }
 
 // Weighted schedules process i with fixed probability proportional to
 // weights[i], renormalized over the active set after crashes. The
 // threshold θ is the minimum renormalized probability across active
 // processes in the crash-free case; it is validated at construction.
+//
+// Draws are O(1) through a Walker alias table over the active
+// processes. The table depends only on the weight restriction to A_τ,
+// so it is rebuilt (in O(|A_τ|)) exactly when a process crashes and
+// never on the per-step path.
 type Weighted struct {
 	src     *rng.Source
 	weights []float64
 	active  activeSet
 	theta   float64
-	scratch []float64
+
+	table aliasTable
+	wBuf  []float64 // rebuild scratch: weights of the active ids
+
+	scratch []float64 // NextNaive scratch
 }
 
 var (
@@ -202,32 +235,35 @@ func NewWeighted(weights []float64, src *rng.Source) (*Weighted, error) {
 	}
 	ws := make([]float64, len(weights))
 	copy(ws, weights)
-	return &Weighted{
+	w := &Weighted{
 		src:     src,
 		weights: ws,
 		active:  newActiveSet(len(weights)),
 		theta:   minW / total,
 		scratch: make([]float64, len(weights)),
-	}, nil
+	}
+	if err := w.rebuild(); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
-// Next implements Scheduler.
+// rebuild reconstructs the alias table over the currently active
+// processes. Called at construction and after every crash.
+func (w *Weighted) rebuild() error {
+	w.wBuf = grow(w.wBuf, len(w.active.ids))
+	for i, pid := range w.active.ids {
+		w.wBuf[i] = w.weights[pid]
+	}
+	return w.table.build(w.active.ids, w.wBuf)
+}
+
+// Next implements Scheduler in O(1) via the alias table.
 func (w *Weighted) Next() (int, error) {
-	if w.active.correct == 0 {
+	if w.active.correct() == 0 {
 		return 0, ErrAllCrashed
 	}
-	for pid := range w.weights {
-		if w.active.alive[pid] {
-			w.scratch[pid] = w.weights[pid]
-		} else {
-			w.scratch[pid] = 0
-		}
-	}
-	pid, err := w.src.Categorical(w.scratch)
-	if err != nil {
-		return 0, fmt.Errorf("sched: weighted draw: %w", err)
-	}
-	return pid, nil
+	return w.table.draw(w.src), nil
 }
 
 // N implements Scheduler.
@@ -236,24 +272,41 @@ func (w *Weighted) N() int { return len(w.weights) }
 // Threshold implements Scheduler.
 func (w *Weighted) Threshold() float64 { return w.theta }
 
-// Crash implements Crasher.
-func (w *Weighted) Crash(pid int) error { return w.active.crash(pid) }
+// Crash implements Crasher, rebuilding the alias table over the
+// shrunken active set (O(|A_τ|), amortized over at most n-1 crashes).
+func (w *Weighted) Crash(pid int) error {
+	if err := w.active.crash(pid); err != nil {
+		return err
+	}
+	return w.rebuild()
+}
 
 // Correct implements Crasher.
 func (w *Weighted) Correct(pid int) bool { return w.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (w *Weighted) NumCorrect() int { return w.active.correct }
+func (w *Weighted) NumCorrect() int { return w.active.correct() }
 
 // Lottery implements lottery scheduling [Petrou et al. 1999]: each
 // process holds an integer number of tickets and is scheduled with
 // probability proportional to its holding. It is a Weighted scheduler
 // with integer weights and runtime ticket transfers.
+//
+// Draws resolve the winning ticket through a Fenwick tree over the
+// active ticket counts: O(log n) per draw, per transfer, and per
+// crash, with the active ticket total maintained incrementally rather
+// than recomputed per step. The tree's inverse-CDF search visits
+// processes in id order exactly as the superseded linear scan did, so
+// for identical rng states Next returns the identical pid sequence
+// (see TestLotterySequenceMatchesNaive).
 type Lottery struct {
 	src     *rng.Source
 	tickets []int
 	active  activeSet
-	total   int
+	total   int // all tickets, crashed holders included (Threshold)
+
+	fen         *fenwick
+	activeTotal int64 // tickets held by correct processes
 }
 
 var (
@@ -271,44 +324,40 @@ func NewLottery(tickets []int, src *rng.Source) (*Lottery, error) {
 		return nil, errors.New("sched: nil rng source")
 	}
 	ts := make([]int, len(tickets))
+	vals := make([]int64, len(tickets))
 	total := 0
 	for i, t := range tickets {
 		if t < 1 {
 			return nil, fmt.Errorf("sched: process %d holds %d tickets, need >= 1", i, t)
 		}
 		ts[i] = t
+		vals[i] = int64(t)
 		total += t
 	}
-	return &Lottery{src: src, tickets: ts, active: newActiveSet(len(tickets)), total: total}, nil
+	fen := newFenwick(len(tickets))
+	fen.init(vals)
+	return &Lottery{
+		src:         src,
+		tickets:     ts,
+		active:      newActiveSet(len(tickets)),
+		total:       total,
+		fen:         fen,
+		activeTotal: int64(total),
+	}, nil
 }
 
 // Next implements Scheduler by drawing a winning ticket among active
-// processes.
+// processes and resolving its holder in O(log n).
 func (l *Lottery) Next() (int, error) {
-	if l.active.correct == 0 {
+	if l.active.correct() == 0 {
 		return 0, ErrAllCrashed
 	}
-	activeTotal := 0
-	for pid, t := range l.tickets {
-		if l.active.alive[pid] {
-			activeTotal += t
-		}
-	}
-	win := l.src.Intn(activeTotal)
-	for pid, t := range l.tickets {
-		if !l.active.alive[pid] {
-			continue
-		}
-		if win < t {
-			return pid, nil
-		}
-		win -= t
-	}
-	// Unreachable: the draw is strictly below the active ticket total.
-	return 0, errors.New("sched: lottery draw exhausted tickets")
+	win := l.src.Intn(int(l.activeTotal))
+	return l.fen.find(int64(win)), nil
 }
 
-// SetTickets changes pid's holding at runtime (ticket transfers).
+// SetTickets changes pid's holding at runtime (ticket transfers),
+// O(log n).
 func (l *Lottery) SetTickets(pid, tickets int) error {
 	if pid < 0 || pid >= len(l.tickets) {
 		return fmt.Errorf("%w: %d", ErrBadProcess, pid)
@@ -316,8 +365,13 @@ func (l *Lottery) SetTickets(pid, tickets int) error {
 	if tickets < 1 {
 		return fmt.Errorf("sched: process %d needs >= 1 ticket", pid)
 	}
-	l.total += tickets - l.tickets[pid]
+	delta := tickets - l.tickets[pid]
+	l.total += delta
 	l.tickets[pid] = tickets
+	if l.active.alive[pid] {
+		l.fen.add(pid, int64(delta))
+		l.activeTotal += int64(delta)
+	}
 	return nil
 }
 
@@ -335,28 +389,38 @@ func (l *Lottery) Threshold() float64 {
 	return float64(minT) / float64(l.total)
 }
 
-// Crash implements Crasher.
-func (l *Lottery) Crash(pid int) error { return l.active.crash(pid) }
+// Crash implements Crasher, zeroing pid's tickets in the tree so the
+// inverse-CDF search skips it (O(log n)).
+func (l *Lottery) Crash(pid int) error {
+	if err := l.active.crash(pid); err != nil {
+		return err
+	}
+	l.fen.add(pid, -int64(l.tickets[pid]))
+	l.activeTotal -= int64(l.tickets[pid])
+	return nil
+}
 
 // Correct implements Crasher.
 func (l *Lottery) Correct(pid int) bool { return l.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (l *Lottery) NumCorrect() int { return l.active.correct }
+func (l *Lottery) NumCorrect() int { return l.active.correct() }
 
 // Sticky is a Markov-modulated scheduler: with probability rho it
 // schedules the same process as the previous step; otherwise it picks
 // uniformly among active processes. This models the local correlation
 // real schedulers exhibit (a thread tends to keep its core for a
 // while) and is still stochastic: every active process has per-step
-// probability at least (1-ρ)/n.
+// probability at least (1-ρ)/n. Both rows of its two-state modulation
+// are sampled in O(1): the sticky branch is a Bernoulli trial and the
+// exploration branch draws from the dense active set.
 type Sticky struct {
-	src    *rng.Source
-	rho    float64
-	active activeSet
-	last   int
-	primed bool
-	ids    []int
+	src      *rng.Source
+	rho      float64
+	active   activeSet
+	last     int
+	primed   bool
+	naiveIDs []int // scratch for NextNaive only
 }
 
 var (
@@ -378,26 +442,15 @@ func NewSticky(n int, rho float64, src *rng.Source) (*Sticky, error) {
 	return &Sticky{src: src, rho: rho, active: newActiveSet(n)}, nil
 }
 
-// Next implements Scheduler.
+// Next implements Scheduler in O(1).
 func (s *Sticky) Next() (int, error) {
-	if s.active.correct == 0 {
+	if s.active.correct() == 0 {
 		return 0, ErrAllCrashed
 	}
 	if s.primed && s.active.alive[s.last] && s.src.Bernoulli(s.rho) {
 		return s.last, nil
 	}
-	var pid int
-	if s.active.correct == len(s.active.alive) {
-		pid = s.src.Intn(len(s.active.alive))
-	} else {
-		s.ids = s.ids[:0]
-		for id, ok := range s.active.alive {
-			if ok {
-				s.ids = append(s.ids, id)
-			}
-		}
-		pid = s.ids[s.src.Intn(len(s.ids))]
-	}
+	pid := s.active.pick(s.src)
 	s.last = pid
 	s.primed = true
 	return pid, nil
@@ -418,7 +471,7 @@ func (s *Sticky) Crash(pid int) error { return s.active.crash(pid) }
 func (s *Sticky) Correct(pid int) bool { return s.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (s *Sticky) NumCorrect() int { return s.active.correct }
+func (s *Sticky) NumCorrect() int { return s.active.correct() }
 
 // RoundRobin is the deterministic fair baseline: processes take steps
 // in cyclic id order, skipping crashed ones. Its threshold is 0 (it is
@@ -445,7 +498,7 @@ func NewRoundRobin(n int) (*RoundRobin, error) {
 
 // Next implements Scheduler.
 func (r *RoundRobin) Next() (int, error) {
-	if r.active.correct == 0 {
+	if r.active.correct() == 0 {
 		return 0, ErrAllCrashed
 	}
 	for {
@@ -471,7 +524,7 @@ func (r *RoundRobin) Crash(pid int) error { return r.active.crash(pid) }
 func (r *RoundRobin) Correct(pid int) bool { return r.active.isCorrect(pid) }
 
 // NumCorrect implements Crasher.
-func (r *RoundRobin) NumCorrect() int { return r.active.correct }
+func (r *RoundRobin) NumCorrect() int { return r.active.correct() }
 
 // Strategy chooses the process to schedule at time step tau given the
 // number of processes. It encodes a classic asynchronous adversary as

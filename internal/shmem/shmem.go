@@ -108,7 +108,9 @@ func (m *Memory) Reset() {
 func (m *Memory) Read(r int) int64 {
 	v := m.regs[r]
 	m.counters.Reads++
-	m.record(Op{Kind: OpRead, Reg: r, Result: v})
+	if m.traceLimit > 0 {
+		m.record(Op{Kind: OpRead, Reg: r, Result: v})
+	}
 	return v
 }
 
@@ -116,7 +118,9 @@ func (m *Memory) Read(r int) int64 {
 func (m *Memory) Write(r int, v int64) {
 	m.regs[r] = v
 	m.counters.Writes++
-	m.record(Op{Kind: OpWrite, Reg: r, Arg: v})
+	if m.traceLimit > 0 {
+		m.record(Op{Kind: OpWrite, Reg: r, Arg: v})
+	}
 }
 
 // CAS atomically compares register r with expected and, on a match,
@@ -131,7 +135,9 @@ func (m *Memory) CAS(r int, expected, newVal int64) bool {
 	if !ok {
 		m.counters.CASFailures++
 	}
-	m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	if m.traceLimit > 0 {
+		m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	}
 	return ok
 }
 
@@ -148,7 +154,9 @@ func (m *Memory) CASGet(r int, expected, newVal int64) (prior int64, swapped boo
 	if !ok {
 		m.counters.CASFailures++
 	}
-	m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	if m.traceLimit > 0 {
+		m.record(Op{Kind: OpCAS, Reg: r, Arg: expected, Arg2: newVal, Result: old, OK: ok})
+	}
 	return old, ok
 }
 
@@ -183,8 +191,12 @@ func (m *Memory) Trace() []Op {
 	return out
 }
 
+// record appends op to the bounded trace. Call sites hoist the
+// traceLimit > 0 check so the hot path neither constructs the Op
+// value nor pays the call when tracing is disabled
+// (BenchmarkMemoryOps holds the happy path at 0 allocs/op).
 func (m *Memory) record(op Op) {
-	if m.traceLimit > 0 && len(m.trace) < m.traceLimit {
+	if len(m.trace) < m.traceLimit {
 		m.trace = append(m.trace, op)
 	}
 }

@@ -204,6 +204,56 @@ func ChiSquareCritical999(dof int) float64 {
 	return k * t * t * t
 }
 
+// ChiSquareTwoSample computes the chi-square homogeneity statistic
+// for two independent samples of categorical counts over the same
+// categories: the null hypothesis is that both samples draw from the
+// same (unknown) distribution. Categories empty in both samples are
+// dropped; the degrees of freedom are the number of remaining
+// categories minus one. Both samples must have positive totals and at
+// least two categories must be occupied.
+//
+// The sched package uses this to verify its constant-time samplers
+// (alias tables, Fenwick draws) against the naive O(n) reference
+// samplers without needing the true distribution in closed form.
+func ChiSquareTwoSample(a, b []int) (stat float64, dof int, err error) {
+	if len(a) != len(b) {
+		return 0, 0, errors.New("stats: sample length mismatch")
+	}
+	var totalA, totalB int
+	occupied := 0
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		totalA += a[i]
+		totalB += b[i]
+		if a[i]+b[i] > 0 {
+			occupied++
+		}
+	}
+	if totalA == 0 || totalB == 0 {
+		return 0, 0, ErrNoData
+	}
+	if occupied < 2 {
+		return 0, 0, errors.New("stats: need at least two occupied categories")
+	}
+	grand := float64(totalA + totalB)
+	fracA := float64(totalA) / grand
+	fracB := float64(totalB) / grand
+	for i := range a {
+		col := float64(a[i] + b[i])
+		if col == 0 {
+			continue
+		}
+		ea := col * fracA
+		eb := col * fracB
+		da := float64(a[i]) - ea
+		db := float64(b[i]) - eb
+		stat += da*da/ea + db*db/eb
+	}
+	return stat, occupied - 1, nil
+}
+
 // LinearFit fits y = a + b*x by ordinary least squares and returns the
 // intercept a, slope b, and the coefficient of determination R².
 func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {

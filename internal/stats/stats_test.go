@@ -167,6 +167,60 @@ func TestChiSquareErrors(t *testing.T) {
 	}
 }
 
+func TestChiSquareTwoSampleIdentical(t *testing.T) {
+	a := []int{100, 200, 300}
+	stat, dof, err := ChiSquareTwoSample(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 2 {
+		t.Errorf("stat=%v dof=%d, want 0 and 2", stat, dof)
+	}
+}
+
+func TestChiSquareTwoSampleDisjoint(t *testing.T) {
+	stat, dof, err := ChiSquareTwoSample([]int{1000, 0}, []int{0, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat <= ChiSquareCritical999(dof) {
+		t.Errorf("disjoint samples passed: stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareTwoSampleDropsEmptyCategories(t *testing.T) {
+	// The middle category is empty in both samples: it must not
+	// contribute a degree of freedom or divide by zero.
+	stat, dof, err := ChiSquareTwoSample([]int{50, 0, 50}, []int{60, 0, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 1 {
+		t.Errorf("dof = %d, want 1", dof)
+	}
+	if math.IsNaN(stat) || math.IsInf(stat, 0) {
+		t.Errorf("stat = %v", stat)
+	}
+}
+
+func TestChiSquareTwoSampleErrors(t *testing.T) {
+	if _, _, err := ChiSquareTwoSample([]int{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch: nil error")
+	}
+	if _, _, err := ChiSquareTwoSample([]int{0, 0}, []int{1, 1}); err == nil {
+		t.Error("empty first sample: nil error")
+	}
+	if _, _, err := ChiSquareTwoSample([]int{1, 1}, []int{0, 0}); err == nil {
+		t.Error("empty second sample: nil error")
+	}
+	if _, _, err := ChiSquareTwoSample([]int{-1, 2}, []int{1, 2}); err == nil {
+		t.Error("negative count: nil error")
+	}
+	if _, _, err := ChiSquareTwoSample([]int{3, 0}, []int{5, 0}); err == nil {
+		t.Error("single occupied category: nil error")
+	}
+}
+
 func TestChiSquareCritical999(t *testing.T) {
 	// Reference values: dof=9 → 27.88, dof=1 → 10.83 (within a few %).
 	if v := ChiSquareCritical999(9); math.Abs(v-27.88) > 1.0 {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 )
@@ -39,3 +40,41 @@ func benchSweep(b *testing.B, workers int) {
 func BenchmarkSweepSCU16Serial(b *testing.B) { benchSweep(b, 1) }
 
 func BenchmarkSweepSCU16Parallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSweepSteps measures end-to-end simulated steps per second
+// over the paper-scale process counts — the quantity the
+// constant-time scheduler sampling layer targets: with O(1) draws the
+// steps/sec column should be flat in n instead of collapsing as
+// O(1/n). Uniform exercises the dense active set (with a crashed
+// process so the crash-mode path is measured); lottery exercises the
+// Fenwick tree. cmd/pwfbench records the same measurement into
+// BENCH_sched.json.
+func BenchmarkSweepSteps(b *testing.B) {
+	for _, spec := range []SchedulerSpec{
+		{Kind: SchedUniform},
+		{Kind: SchedLottery},
+	} {
+		for _, n := range []int{16, 256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/n=%d", spec.Kind, n), func(b *testing.B) {
+				const stepsPerJob = 100000
+				job := Job{
+					Workload: Workload{Kind: SCU, S: 1},
+					N:        n,
+					Sched:    spec,
+					Steps:    stepsPerJob,
+					Crash:    1,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := RunJob(job, 1, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				stepsPerSec := float64(b.N) * stepsPerJob / b.Elapsed().Seconds()
+				b.ReportMetric(stepsPerSec, "steps/sec")
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e9/stepsPerJob, "ns/step")
+			})
+		}
+	}
+}
