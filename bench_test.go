@@ -108,9 +108,10 @@ func BenchmarkSimSCU43N8(b *testing.B)  { benchSimSteps(b, 8, 4, 3) }
 
 // --- Public API round trips -----------------------------------------
 
-func BenchmarkSimulateFetchInc(b *testing.B) {
+func BenchmarkRunFetchInc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := SimulateFetchInc(8, 50000, uint64(i)); err != nil {
+		if _, err := Run(NewRunConfig(FetchIncWorkload(), 8),
+			WithSteps(50000), WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -93,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		draws   = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
 		steps   = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
 		reps    = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
+		scheds  = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +104,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *draws < 1 || *steps < 1 || *reps < 1 {
 		return fmt.Errorf("-draws, -steps and -reps must be >= 1")
+	}
+	specs, err := parseScheds(*scheds)
+	if err != nil {
+		return err
 	}
 
 	rep := Report{
@@ -123,7 +128,7 @@ func run(args []string, out io.Writer) error {
 		rep.Draw = append(rep.Draw, res...)
 	}
 	for _, n := range ns {
-		res, err := measureSweeps(n, *steps, *reps)
+		res, err := measureSweeps(n, *steps, *reps, specs)
 		if err != nil {
 			return err
 		}
@@ -140,6 +145,46 @@ func run(args []string, out io.Writer) error {
 	}
 	_, err = out.Write(enc)
 	return err
+}
+
+// parseScheds parses the -scheds list with the same grammar pwfsim's
+// -sched flag and the serve API's SchedulerSpec strings use.
+func parseScheds(s string) ([]sweep.SchedulerSpec, error) {
+	var out []sweep.SchedulerSpec
+	for _, f := range strings.Split(s, ";") {
+		for _, name := range splitTopLevel(f) {
+			spec, err := sweep.ParseScheduler(strings.TrimSpace(name))
+			if err != nil {
+				return nil, fmt.Errorf("parse -scheds: %w", err)
+			}
+			out = append(out, spec)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -scheds list")
+	}
+	return out, nil
+}
+
+// splitTopLevel splits a comma-separated scheduler list without
+// breaking commas inside a spec's own arguments (lottery:1,2,4): a
+// comma starts a new spec only when what follows looks like a
+// scheduler name, i.e. begins with a letter.
+func splitTopLevel(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != ',' {
+			continue
+		}
+		rest := strings.TrimSpace(s[i+1:])
+		if rest == "" || (rest[0] >= 'a' && rest[0] <= 'z') || (rest[0] >= 'A' && rest[0] <= 'Z') {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
 }
 
 func parseNList(s string) ([]int, error) {
@@ -316,12 +361,9 @@ func measureDraws(n, draws, reps int) ([]DrawResult, error) {
 	return out, nil
 }
 
-func measureSweeps(n int, steps uint64, reps int) ([]SweepResult, error) {
+func measureSweeps(n int, steps uint64, reps int, specs []sweep.SchedulerSpec) ([]SweepResult, error) {
 	var out []SweepResult
-	for _, spec := range []sweep.SchedulerSpec{
-		{Kind: sweep.SchedUniform},
-		{Kind: sweep.SchedLottery},
-	} {
+	for _, spec := range specs {
 		job := sweep.Job{
 			Workload: sweep.Workload{Kind: sweep.SCU, S: 1},
 			N:        n,
@@ -341,7 +383,7 @@ func measureSweeps(n int, steps uint64, reps int) ([]SweepResult, error) {
 		}
 		sec := best.Seconds()
 		out = append(out, SweepResult{
-			Sched:       string(spec.Kind),
+			Sched:       spec.String(),
 			Workload:    string(sweep.SCU),
 			N:           n,
 			Steps:       steps,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -67,13 +68,42 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-n", "0"},
 		{"-n", "abc"},
-		{"-n", ""},
-		{"-draws", "0"},
-		{"-steps", "0"},
-		{"-reps", "0"},
+		{"-n", "16", "-draws", "0"},
+		{"-n", "16", "-steps", "0"},
+		{"-n", "16", "-reps", "0"},
+		{"-n", "16", "-scheds", ""},
+		{"-n", "16", "-scheds", "bogus"},
+		{"-n", "16", "-scheds", "sticky:1.5"},
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("args %v: nil error", args)
 		}
+	}
+}
+
+// -scheds speaks the shared scheduler grammar, including specs whose
+// arguments themselves contain commas, and sweep rows echo the
+// canonical rendering.
+func TestRunSchedsFlagUsesSharedGrammar(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "16", "-draws", "100", "-steps", "500", "-reps", "1",
+		"-scheds", "sticky:0.5, lottery:" + strings.Repeat("1,", 15) + "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Sweep) != 2 {
+		t.Fatalf("got %d sweep rows, want 2", len(rep.Sweep))
+	}
+	if rep.Sweep[0].Sched != "sticky:0.5" {
+		t.Errorf("sweep row 0 sched %q, want sticky:0.5", rep.Sweep[0].Sched)
+	}
+	if want := "lottery:" + strings.Repeat("1,", 15) + "2"; rep.Sweep[1].Sched != want {
+		t.Errorf("sweep row 1 sched %q, want %q", rep.Sweep[1].Sched, want)
 	}
 }

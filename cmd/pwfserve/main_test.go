@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pwf"
+	"pwf/internal/api"
+)
+
+// The end-to-end acceptance criterion, over a real listener: a grid
+// submitted to the daemon streams back result lines byte-identical to
+// the canonical encoding of a local pwf.RunSweep of the same grid and
+// master seed.
+func TestIntegrationStreamMatchesLocalRunSweep(t *testing.T) {
+	inst, err := start([]string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	base := "http://" + inst.Addr
+
+	grid := api.Grid{V: api.Version, Seed: 11, Jobs: []api.Job{
+		{Workload: api.Workload{Kind: "fetchinc"}, N: 4, Steps: 20000, WarmupFraction: 0.1, Exact: true},
+		{Workload: api.Workload{Kind: "scu", S: 1}, N: 3, Steps: 20000, Exact: true},
+		{Workload: api.Workload{Kind: "fetchinc"}, N: 2, Steps: 20000,
+			Sched: api.SchedulerSpec{Kind: "sticky", Rho: 0.25}},
+	}}
+	body, err := api.MarshalGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		ID         string `json:"id"`
+		ResultsURL string `json:"results_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(base + ack.ResultsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(stream.Body)
+	stream.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth through the public API: same jobs, same master
+	// seed, local worker pool.
+	jobs := make([]pwf.SweepJob, len(grid.Jobs))
+	for i, j := range grid.Jobs {
+		jobs[i] = j.Sweep()
+	}
+	results, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: grid.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range results {
+		if err := api.WriteResultLine(&want, api.ResultFromSweep(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("served stream differs from local RunSweep:\n got: %s\nwant: %s", got, want.Bytes())
+	}
+
+	// The daemon's observability surface answers.
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", hz.StatusCode)
+	}
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(metrics) {
+		t.Error("/metrics is not valid JSON")
+	}
+	if !strings.Contains(string(metrics), "server_jobs_completed") {
+		t.Error("/metrics lacks server_jobs_completed")
+	}
+}
+
+func TestStartRejectsBadFlags(t *testing.T) {
+	if _, err := start([]string{"-workers", "-1"}, io.Discard); err == nil {
+		t.Error("negative -workers accepted")
+	}
+	if _, err := start([]string{"-addr", "256.0.0.1:bogus"}, io.Discard); err == nil {
+		t.Error("unlistenable -addr accepted")
+	}
+}

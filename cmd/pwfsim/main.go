@@ -14,8 +14,13 @@
 // Algorithms: scu (Algorithm 2), parallel (Algorithm 4),
 // fetchinc (Algorithm 5), unbounded (Algorithm 1), stack, queue,
 // rcu, list, hashset, lfuniversal, wfuniversal.
-// Schedulers: uniform, roundrobin, sticky:<rho>, lottery,
-// adversary:<victim>.
+// Schedulers: uniform, roundrobin, sticky:<rho>,
+// lottery[:t1,t2,...], weighted[:w1,w2,...],
+// phased:<w,...>@<steps>/<w,...>@<steps>..., adversary:<victim>.
+//
+// With -json, each job emits one canonical internal/api result line
+// (schema v1, no wall-clock fields): byte-identical to what pwfserve
+// streams for the same grid and seed, and parseable by api.ReadResults.
 //
 // Observability flags: -trace writes every step-level event
 // (scheduling decision, CAS outcome, retry, operation boundary,
@@ -27,7 +32,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +42,7 @@ import (
 	"strings"
 
 	"pwf"
+	"pwf/internal/api"
 )
 
 func main() {
@@ -56,11 +61,11 @@ func run(args []string, out, errOut io.Writer) error {
 		s         = fs.Int("s", 1, "scan length (scu)")
 		steps     = fs.Uint64("steps", 1000000, "system steps to simulate")
 		warmup    = fs.Uint64("warmup", 0, "warmup steps discarded before measuring (default steps/10)")
-		schedName = fs.String("sched", "uniform", "scheduler: uniform, roundrobin, sticky:<rho>, lottery, adversary:<victim>")
+		schedName = fs.String("sched", "uniform", "scheduler: uniform, roundrobin, sticky:<rho>, lottery[:tickets], weighted[:weights], phased:<w,..>@<steps>/.., adversary:<victim>")
 		seed      = fs.Uint64("seed", 1, "master rng seed (per-job seeds are derived deterministically)")
 		crash     = fs.Int("crash", 0, "number of processes to crash before starting")
 		exact     = fs.Bool("exact", false, "also compute the exact-chain system latency where tractable")
-		asJSON    = fs.Bool("json", false, "emit one JSON object per job instead of the text report")
+		asJSON    = fs.Bool("json", false, "emit one canonical api result line (NDJSON, schema v1) per job instead of the text report")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
 		traceFile = fs.String("trace", "", "write step-level telemetry events as NDJSON to this file")
 		metrics   = fs.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
@@ -148,7 +153,7 @@ func run(args []string, out, errOut io.Writer) error {
 			Jobs:    jobs,
 			Seed:    *seed,
 			Workers: *workers,
-		}, pwf.WithSweepRecorder(pwf.MultiRecorder(recorders...)))
+		}, pwf.WithRecorder(pwf.MultiRecorder(recorders...)))
 		return err
 	})
 	if trace != nil {
@@ -166,9 +171,11 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(out)
+		// Canonical api lines, not a bare struct dump: the same bytes
+		// pwfserve streams for this grid and seed, so CLI output and
+		// server output diff clean against each other.
 		for _, res := range results {
-			if err := enc.Encode(res); err != nil {
+			if err := api.WriteResultLine(out, api.ResultFromSweep(res)); err != nil {
 				return err
 			}
 		}

@@ -82,6 +82,14 @@ func TestRunJSONEmitsOneObjectPerJob(t *testing.T) {
 		t.Fatalf("%d JSON lines, want 2:\n%s", len(lines), buf.String())
 	}
 	for i, line := range lines {
+		// Canonical api lines: versioned, and free of wall-clock fields
+		// so the same grid and seed always reproduce the same bytes.
+		if !strings.HasPrefix(line, `{"v":1,`) {
+			t.Errorf("line %d is not a v1 envelope: %s", i, line)
+		}
+		if strings.Contains(line, "elapsed") {
+			t.Errorf("line %d leaks wall-clock fields: %s", i, line)
+		}
 		var obj struct {
 			Index int `json:"index"`
 			Job   struct {

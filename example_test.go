@@ -10,8 +10,23 @@ import (
 // The headline claim: under the uniform stochastic scheduler the
 // lock-free counter's system latency stays below the Lemma 12 bound
 // 2√n, and every process completes at the same rate (Theorem 4).
-func ExampleSimulateFetchInc() {
-	lat, err := pwf.SimulateFetchInc(8, 500000, 1)
+//
+// This is also the migration from the removed Simulate* wrappers:
+// where code previously called
+//
+//	pwf.SimulateFetchInc(n, steps, seed)        // removed
+//	pwf.SimulateSCU(n, q, s, steps, seed)       // removed
+//
+// it now builds the same measurement from a declarative workload —
+// which additionally exposes the scheduler model and warmup window:
+//
+//	pwf.Run(pwf.NewRunConfig(pwf.FetchIncWorkload(), n),
+//	        pwf.WithSteps(steps), pwf.WithSeed(seed))
+//	pwf.Run(pwf.NewRunConfig(pwf.SCUWorkload(q, s), n),
+//	        pwf.WithSteps(steps), pwf.WithSeed(seed))
+func ExampleRun() {
+	lat, err := pwf.Run(pwf.NewRunConfig(pwf.FetchIncWorkload(), 8),
+		pwf.WithSteps(500000), pwf.WithSeed(1))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,0 +1,531 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pwf/internal/api"
+	"pwf/internal/obs"
+	"pwf/internal/sweep"
+)
+
+func testGrid() api.Grid {
+	return api.Grid{
+		V:    api.Version,
+		Seed: 7,
+		Jobs: []api.Job{
+			{Workload: api.Workload{Kind: sweep.SCU, S: 1}, N: 3, Steps: 5000, Exact: true},
+			{Workload: api.Workload{Kind: sweep.FetchInc}, N: 2, Steps: 5000, Exact: true},
+			{Workload: api.Workload{Kind: sweep.SCU, S: 1}, N: 4, Steps: 5000,
+				Sched: api.SchedulerSpec{Kind: sweep.SchedSticky, Rho: 0.5}},
+			{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 5000},
+		},
+	}
+}
+
+// localLines renders the grid's canonical result lines by running the
+// sweep in-process — the ground truth HTTP streams must match
+// byte-for-byte.
+func localLines(t *testing.T, g api.Grid) []byte {
+	t.Helper()
+	results, err := sweep.Run(sweep.Config{Jobs: g.SweepJobs(), Seed: g.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range results {
+		if err := api.WriteResultLine(&buf, api.ResultFromSweep(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = sweep.NewChainCache()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, g api.Grid) (id string, jobs int) {
+	t.Helper()
+	body, err := api.MarshalGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var ack struct {
+		V          int    `json:"v"`
+		ID         string `json:"id"`
+		Jobs       int    `json:"jobs"`
+		ResultsURL string `json:"results_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.V != api.Version || ack.ID == "" ||
+		ack.ResultsURL != "/v1/sweeps/"+ack.ID+"/results" {
+		t.Fatalf("malformed ack: %+v", ack)
+	}
+	return ack.ID, ack.Jobs
+}
+
+func decodeError(t *testing.T, resp *http.Response) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body did not decode as api.Error: %v", err)
+	}
+	if e.V != api.Version {
+		t.Errorf("error body v = %d, want %d", e.V, api.Version)
+	}
+	return e
+}
+
+// The acceptance criterion: results streamed over HTTP are
+// byte-identical to the canonical lines a local run of the same grid
+// and master seed produces.
+func TestStreamedResultsMatchLocalRun(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2})
+	g := testGrid()
+	id, jobs := submit(t, ts, g)
+	if jobs != len(g.Jobs) {
+		t.Fatalf("ack reports %d jobs, want %d", jobs, len(g.Jobs))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results Content-Type = %q, want application/x-ndjson", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localLines(t, g); !bytes.Equal(got, want) {
+		t.Errorf("streamed bytes differ from local run:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The stream is also valid canonical NDJSON with per-job indices
+	// in input order.
+	results, err := api.ReadResults(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("line %d has index %d; stream must be in input order", i, r.Index)
+		}
+	}
+
+	// And the status endpoint reports completion.
+	st, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status struct {
+		Status string `json:"status"`
+		Done   int    `json:"done"`
+		Total  int    `json:"total"`
+	}
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Status != "done" || status.Done != len(g.Jobs) || status.Total != len(g.Jobs) {
+		t.Errorf("status after stream = %+v, want done %d/%d", status, len(g.Jobs), len(g.Jobs))
+	}
+}
+
+// Cursor resume: a client that read k lines and reconnected with
+// cursor=k sees exactly the remaining lines — no duplicates, no gaps.
+func TestResultsCursorResume(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	g := testGrid()
+	id, _ := submit(t, ts, g)
+	want := localLines(t, g)
+	wantLines := bytes.SplitAfter(bytes.TrimSuffix(want, []byte("\n")), []byte("\n"))
+
+	// First connection: read two lines, then drop it mid-stream.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	var head bytes.Buffer
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		head.Write(line)
+	}
+	resp.Body.Close()
+
+	// Resume from cursor=2, once via the query parameter and once via
+	// the Last-Event-ID header; both must return exactly the tail.
+	for _, mk := range []func() *http.Request{
+		func() *http.Request {
+			r, _ := http.NewRequest("GET", ts.URL+"/v1/sweeps/"+id+"/results?cursor=2", nil)
+			return r
+		},
+		func() *http.Request {
+			r, _ := http.NewRequest("GET", ts.URL+"/v1/sweeps/"+id+"/results", nil)
+			r.Header.Set("Last-Event-ID", "2")
+			return r
+		},
+	} {
+		resp, err := http.DefaultClient.Do(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(append([]byte{}, head.Bytes()...), tail...)
+		if !bytes.Equal(full, want) {
+			t.Errorf("head+tail != full stream:\n got: %s\nwant: %s", full, want)
+		}
+		gotLines := bytes.SplitAfter(bytes.TrimSuffix(tail, []byte("\n")), []byte("\n"))
+		if len(gotLines) != len(wantLines)-2 {
+			t.Errorf("resume returned %d lines, want %d", len(gotLines), len(wantLines)-2)
+		}
+	}
+
+	// Cursor at the end yields an empty, immediately-closed stream.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sweeps/%s/results?cursor=%d", ts.URL, id, len(g.Jobs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("cursor=total returned %d bytes, want none", len(rest))
+	}
+
+	// Out-of-range and malformed cursors are structured 400s.
+	for _, cursor := range []string{"-1", "999", "two"} {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results?cursor=" + cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("cursor=%s: status %d, want 400", cursor, resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != api.CodeInvalidGrid {
+			t.Errorf("cursor=%s: code %q", cursor, e.Code)
+		}
+	}
+}
+
+// A client that disconnects mid-stream releases its handler: the
+// blocked stream observes the canceled request context and the
+// disconnect counter advances.
+func TestClientDisconnectMidStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	_, ts := startServer(t, Config{Registry: reg, gate: gate})
+	id, _ := submit(t, ts, testGrid())
+
+	// The sweep is gated, so the stream has nothing to send and parks
+	// in its wait loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/sweeps/"+id+"/results", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["server_streams_opened"]; got != 1 {
+		t.Errorf("streams opened = %d, want 1", got)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counters["server_streams_disconnected"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect was never observed by the handler")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate) // let the sweep drain before Cleanup closes the server
+}
+
+// Oversized submissions are rejected up front with structured bodies:
+// too many jobs (grid_too_large) and too many bytes (body_too_large).
+func TestOversizedSubmissionsRejected(t *testing.T) {
+	_, ts := startServer(t, Config{MaxGridJobs: 2, MaxBodyBytes: 512})
+
+	g := testGrid() // 4 jobs > MaxGridJobs, but also > 512 bytes, so shrink steps first
+	small := api.Grid{V: api.Version, Seed: 1, Jobs: []api.Job{
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 2, Steps: 100},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 100},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 4, Steps: 100},
+	}}
+	body, err := api.MarshalGrid(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) > 512 {
+		t.Fatalf("test grid unexpectedly large: %d bytes", len(body))
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("3-job grid with MaxGridJobs=2: status %d, want 413", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.CodeGridTooLarge {
+		t.Errorf("code %q, want %q", e.Code, api.CodeGridTooLarge)
+	}
+
+	g.Jobs[0].Label = strings.Repeat("x", 600)
+	big, err := api.MarshalGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= 512 {
+		t.Fatalf("big grid unexpectedly small: %d bytes", len(big))
+	}
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.CodeBodyTooLarge {
+		t.Errorf("code %q, want %q", e.Code, api.CodeBodyTooLarge)
+	}
+}
+
+// Bounded admission: once queued jobs reach MaxQueuedJobs, further
+// submissions get 429 with a Retry-After header and a structured
+// body, and the queue-depth gauge exposes the backlog.
+func TestOverloadRejectsWith429(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	_, ts := startServer(t, Config{Registry: reg, MaxQueuedJobs: 4, RetryAfter: 3 * time.Second, gate: gate})
+
+	if _, jobs := submit(t, ts, testGrid()); jobs != 4 {
+		t.Fatalf("first submission queued %d jobs, want 4", jobs)
+	}
+	if depth := reg.Snapshot().Gauges["server_queue_depth"]; depth != 4 {
+		t.Errorf("queue depth = %d, want 4", depth)
+	}
+
+	body, err := api.MarshalGrid(api.Grid{V: api.Version, Seed: 1, Jobs: []api.Job{
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 2, Steps: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	e := decodeError(t, resp)
+	if e.Code != api.CodeOverloaded {
+		t.Errorf("code %q, want %q", e.Code, api.CodeOverloaded)
+	}
+	if e.RetryAfterSec != 3 {
+		t.Errorf("retry_after_sec = %d, want 3", e.RetryAfterSec)
+	}
+	if got := reg.Snapshot().Counters["server_sweeps_rejected_overload"]; got != 1 {
+		t.Errorf("overload rejections = %d, want 1", got)
+	}
+
+	// Releasing the gate drains the queue; capacity comes back and the
+	// same submission is now accepted.
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Snapshot().Gauges["server_queue_depth"] != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained after releasing the gate")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("post-drain submission: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// Malformed submissions and unknown sweeps produce structured errors
+// with stable codes.
+func TestStructuredErrors(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"not json", "nope", http.StatusBadRequest, api.CodeInvalidGrid},
+		{"unknown field", `{"v":1,"seed":1,"jobs":[{"workload":{"kind":"scu"},"n":2,"steps":10,"warmup_fraction":0,"bogus":1}]}`,
+			http.StatusBadRequest, api.CodeInvalidGrid},
+		{"empty grid", `{"v":1,"seed":1,"jobs":[]}`, http.StatusBadRequest, api.CodeInvalidGrid},
+		{"wrong version", `{"v":9,"seed":1,"jobs":[{"workload":{"kind":"scu"},"n":2,"steps":10,"warmup_fraction":0}]}`,
+			http.StatusBadRequest, api.CodeUnsupportedVersion},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if e := decodeError(t, resp); e.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.code)
+		}
+	}
+
+	for _, path := range []string{"/v1/sweeps/nope", "/v1/sweeps/nope/results", "/bogus"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != api.CodeNotFound {
+			t.Errorf("GET %s: code %q, want %q", path, e.Code, api.CodeNotFound)
+		}
+	}
+}
+
+// The observability surface: /healthz answers, /metrics exposes queue
+// depth, batching counters, per-job latency histogram, and the chain
+// cache's hit/miss gauges.
+func TestMetricsSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := startServer(t, Config{Registry: reg})
+	g := testGrid()
+	id, _ := submit(t, ts, g)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", hz.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics did not decode as a snapshot: %v", err)
+	}
+	if got := snap.Counters["server_jobs_completed"]; got != uint64(len(g.Jobs)) {
+		t.Errorf("jobs completed = %d, want %d", got, len(g.Jobs))
+	}
+	if snap.Counters["server_sweeps_accepted"] != 1 {
+		t.Errorf("sweeps accepted = %d, want 1", snap.Counters["server_sweeps_accepted"])
+	}
+	// testGrid has 4 jobs in 4 distinct families (different scheds /
+	// exactness), so coalescing is 0 here; the counter must exist.
+	if _, ok := snap.Counters["server_jobs_coalesced"]; !ok {
+		t.Error("server_jobs_coalesced counter missing")
+	}
+	if _, ok := snap.Gauges["server_queue_depth"]; !ok {
+		t.Error("server_queue_depth gauge missing")
+	}
+	if _, ok := snap.Gauges["chain_cache_hits"]; !ok {
+		t.Error("chain_cache_hits gauge missing")
+	}
+	h, ok := snap.Histograms["server_job_latency_ns"]
+	if !ok {
+		t.Fatal("server_job_latency_ns histogram missing")
+	}
+	if h.Count != uint64(len(g.Jobs)) {
+		t.Errorf("latency histogram count = %d, want %d", h.Count, len(g.Jobs))
+	}
+}
+
+// Family batching advertises its coalescing: a grid of same-family
+// jobs counts len(jobs)-1 coalesced dispatches.
+func TestCoalescingCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := startServer(t, Config{Registry: reg})
+	g := api.Grid{V: api.Version, Seed: 3, Jobs: []api.Job{
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 2, Steps: 200},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 200},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 4, Steps: 200},
+	}}
+	id, _ := submit(t, ts, g)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localLines(t, g); !bytes.Equal(got, want) {
+		t.Errorf("batched sweep bytes differ from local run:\n got: %s\nwant: %s", got, want)
+	}
+	if c := reg.Snapshot().Counters["server_jobs_coalesced"]; c != 2 {
+		t.Errorf("jobs coalesced = %d, want 2 (3 jobs, 1 family)", c)
+	}
+}

@@ -13,10 +13,12 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -150,16 +152,67 @@ type Config struct {
 	// Cache memoizes exact-chain constructions; nil selects the
 	// process-wide DefaultCache.
 	Cache *ChainCache
+	// Warmup, when non-nil, overrides every job's WarmupFraction —
+	// the sweep-level counterpart of pwf.WithWarmupFraction. It must
+	// lie in [0, 1).
+	Warmup *float64
+	// BatchFamilies reorders job *execution* (never results or seeds)
+	// so jobs of the same family — workload kind and parameters,
+	// scheduler kind, exactness — run adjacently: compatible jobs
+	// share ChainCache entries and hot code paths. Because job i
+	// always draws from rng.Stream(Seed, i), results are byte-
+	// identical with batching on or off.
+	BatchFamilies bool
 	// Progress, when non-nil, is called after each job completes with
 	// the number of completed jobs and the total. Calls are serialized
 	// but may come from any worker, in completion order.
 	Progress func(done, total int)
+	// OnResult, when non-nil, observes each successful job result as
+	// it completes — the streaming counterpart of the returned slice.
+	// Calls are serialized but arrive in completion order, not input
+	// order; use Result.Index to reorder.
+	OnResult func(Result)
+	// Context, when non-nil, cancels the sweep at the next job
+	// boundary: no further jobs start, in-flight jobs finish, and Run
+	// returns the context's error alongside the partial results
+	// (completed entries keep their values; unstarted ones are zero).
+	Context context.Context
 	// Recorder, when non-nil, receives per-job lifecycle events
 	// (obs.KindJobStart/KindJobEnd) and the step-level telemetry of
 	// every job that does not set its own Job.Recorder. It must be
 	// safe for concurrent use; events from concurrently executing jobs
 	// interleave.
 	Recorder obs.Recorder
+}
+
+// job returns job i with sweep-level overrides applied.
+func (cfg *Config) job(i int) Job {
+	job := cfg.Jobs[i]
+	if cfg.Warmup != nil {
+		job.WarmupFraction = *cfg.Warmup
+	}
+	return job
+}
+
+// dispatchOrder returns the order jobs are handed to workers. With
+// BatchFamilies it groups same-family jobs adjacently (stable within
+// a family, so relative input order is kept); otherwise input order.
+func dispatchOrder(cfg Config) []int {
+	order := make([]int, len(cfg.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	if !cfg.BatchFamilies {
+		return order
+	}
+	keys := make([]string, len(cfg.Jobs))
+	for i, j := range cfg.Jobs {
+		keys[i] = fmt.Sprintf("%s|q%d|s%d|w%d|x%t|%s",
+			j.Workload.Kind, j.Workload.Q, j.Workload.S, j.Workload.WaitFactor,
+			j.Exact, j.Sched.Kind)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	return order
 }
 
 // Run executes the sweep and returns one result per job, in input
@@ -169,8 +222,13 @@ func Run(cfg Config) ([]Result, error) {
 	if len(cfg.Jobs) == 0 {
 		return nil, errors.New("sweep: no jobs")
 	}
-	for i, job := range cfg.Jobs {
-		if err := job.Validate(); err != nil {
+	if cfg.Warmup != nil {
+		if f := *cfg.Warmup; f < 0 || f >= 1 || math.IsNaN(f) {
+			return nil, fmt.Errorf("sweep: warmup fraction %v out of [0, 1)", f)
+		}
+	}
+	for i := range cfg.Jobs {
+		if err := cfg.job(i).Validate(); err != nil {
 			return nil, fmt.Errorf("job %d: %w", i, err)
 		}
 	}
@@ -184,6 +242,10 @@ func Run(cfg Config) ([]Result, error) {
 	cache := cfg.Cache
 	if cache == nil {
 		cache = DefaultCache
+	}
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
 	}
 
 	results := make([]Result, len(cfg.Jobs))
@@ -200,7 +262,7 @@ func Run(cfg Config) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				job := cfg.Jobs[i]
+				job := cfg.job(i)
 				if job.Recorder == nil {
 					job.Recorder = cfg.Recorder
 				}
@@ -221,6 +283,9 @@ func Run(cfg Config) ([]Result, error) {
 				if err != nil {
 					fail = true
 				}
+				if err == nil && cfg.OnResult != nil {
+					cfg.OnResult(res)
+				}
 				if cfg.Progress != nil {
 					cfg.Progress(done, len(cfg.Jobs))
 				}
@@ -228,8 +293,15 @@ func Run(cfg Config) ([]Result, error) {
 			}
 		}()
 	}
-	for i := range cfg.Jobs {
-		idx <- i
+	canceled := false
+feed:
+	for _, i := range dispatchOrder(cfg) {
+		select {
+		case idx <- i:
+		case <-ctxDone:
+			canceled = true
+			break feed
+		}
 		mu.Lock()
 		stop := fail
 		mu.Unlock()
@@ -239,6 +311,9 @@ func Run(cfg Config) ([]Result, error) {
 	}
 	close(idx)
 	wg.Wait()
+	if canceled {
+		return results, fmt.Errorf("sweep: canceled: %w", cfg.Context.Err())
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, describe(cfg.Jobs[i]), err)

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -234,11 +236,29 @@ const (
 	SchedSticky     SchedKind = "sticky"     // Markov-modulated, reschedules with prob. Rho
 	SchedRoundRobin SchedKind = "roundrobin" // deterministic fair baseline
 	SchedLottery    SchedKind = "lottery"    // ticket-based lottery scheduling
+	SchedWeighted   SchedKind = "weighted"   // fixed arbitrary distribution
+	SchedPhased     SchedKind = "phased"     // cyclic time-varying weighted phases
 	SchedAdversary  SchedKind = "adversary"  // singles out Victim, θ = 0
 )
 
+// PhaseSpec is one segment of a phased schedule: the per-process
+// weights and the segment length in steps.
+type PhaseSpec struct {
+	// Weights gives each process's scheduling weight in this phase;
+	// all must be strictly positive.
+	Weights []float64 `json:"weights"`
+	// Steps is the phase length; must be >= 1.
+	Steps uint64 `json:"steps"`
+}
+
 // SchedulerSpec is a declarative description of a scheduler, buildable
 // for any n and seed. The zero value is the uniform scheduler.
+//
+// SchedulerSpec has two interchangeable JSON forms: the object form
+// ({"kind":"sticky","rho":0.9}) and the compact string form
+// ("sticky:0.9"), which is exactly the CLI grammar of ParseScheduler.
+// Marshaling always emits the object form (the canonical wire
+// encoding); Unmarshal accepts either.
 type SchedulerSpec struct {
 	Kind SchedKind `json:"kind,omitempty"`
 	// Rho is the stickiness in [0, 1) (Sticky only).
@@ -246,6 +266,11 @@ type SchedulerSpec struct {
 	// Tickets are the per-process lottery tickets (Lottery only); nil
 	// gives every process one ticket.
 	Tickets []int `json:"tickets,omitempty"`
+	// Weights are the per-process scheduling weights (Weighted only);
+	// nil gives every process weight 1 (i.e. uniform).
+	Weights []float64 `json:"weights,omitempty"`
+	// Phases are the cyclic schedule segments (Phased only).
+	Phases []PhaseSpec `json:"phases,omitempty"`
 	// Victim is the process the adversary singles out (Adversary only).
 	Victim int `json:"victim,omitempty"`
 }
@@ -256,13 +281,46 @@ func (s SchedulerSpec) Validate(n int) error {
 	case "", SchedUniform, SchedRoundRobin:
 		return nil
 	case SchedSticky:
-		if s.Rho < 0 || s.Rho >= 1 {
+		if s.Rho < 0 || s.Rho >= 1 || math.IsNaN(s.Rho) {
 			return fmt.Errorf("sweep: sticky rho %v out of [0, 1)", s.Rho)
 		}
 		return nil
 	case SchedLottery:
 		if s.Tickets != nil && len(s.Tickets) != n {
 			return fmt.Errorf("sweep: %d tickets for %d processes", len(s.Tickets), n)
+		}
+		for i, t := range s.Tickets {
+			if t < 1 {
+				return fmt.Errorf("sweep: lottery ticket %d for process %d must be positive", t, i)
+			}
+		}
+		return nil
+	case SchedWeighted:
+		if s.Weights != nil && len(s.Weights) != n {
+			return fmt.Errorf("sweep: %d weights for %d processes", len(s.Weights), n)
+		}
+		for i, w := range s.Weights {
+			if !(w > 0) || math.IsInf(w, 1) {
+				return fmt.Errorf("sweep: weight %v for process %d must be strictly positive and finite", w, i)
+			}
+		}
+		return nil
+	case SchedPhased:
+		if len(s.Phases) == 0 {
+			return errors.New("sweep: phased scheduler needs at least one phase")
+		}
+		for pi, ph := range s.Phases {
+			if len(ph.Weights) != n {
+				return fmt.Errorf("sweep: phase %d has %d weights for %d processes", pi, len(ph.Weights), n)
+			}
+			if ph.Steps < 1 {
+				return fmt.Errorf("sweep: phase %d has zero length", pi)
+			}
+			for i, w := range ph.Weights {
+				if !(w > 0) || math.IsInf(w, 1) {
+					return fmt.Errorf("sweep: phase %d weight %v for process %d must be strictly positive and finite", pi, w, i)
+				}
+			}
 		}
 		return nil
 	case SchedAdversary:
@@ -294,6 +352,21 @@ func (s SchedulerSpec) build(n int, seed uint64) (sched.Scheduler, error) {
 			}
 		}
 		return sched.NewLottery(tickets, rng.New(seed))
+	case SchedWeighted:
+		weights := s.Weights
+		if weights == nil {
+			weights = make([]float64, n)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		return sched.NewWeighted(weights, rng.New(seed))
+	case SchedPhased:
+		phases := make([]sched.Phase, len(s.Phases))
+		for i, ph := range s.Phases {
+			phases[i] = sched.Phase{Weights: ph.Weights, Steps: ph.Steps}
+		}
+		return sched.NewPhased(n, phases, rng.New(seed))
 	case SchedAdversary:
 		return sched.NewAdversarial(n, sched.SingleOut(s.Victim))
 	default:
@@ -301,14 +374,35 @@ func (s SchedulerSpec) build(n int, seed uint64) (sched.Scheduler, error) {
 	}
 }
 
-// String renders the spec in the cmd/pwfsim flag syntax (e.g.
-// "uniform", "sticky:0.9").
+// String renders the spec in the shared scheduler grammar (e.g.
+// "uniform", "sticky:0.9", "lottery:1,2,4", "phased:3,1@50/1,3@50").
+// The rendering round-trips: ParseScheduler(s.String()) reproduces s.
 func (s SchedulerSpec) String() string {
 	switch s.Kind {
 	case "", SchedUniform:
 		return string(SchedUniform)
 	case SchedSticky:
 		return fmt.Sprintf("sticky:%g", s.Rho)
+	case SchedLottery:
+		if s.Tickets == nil {
+			return string(SchedLottery)
+		}
+		parts := make([]string, len(s.Tickets))
+		for i, t := range s.Tickets {
+			parts[i] = strconv.Itoa(t)
+		}
+		return "lottery:" + strings.Join(parts, ",")
+	case SchedWeighted:
+		if s.Weights == nil {
+			return string(SchedWeighted)
+		}
+		return "weighted:" + joinFloats(s.Weights)
+	case SchedPhased:
+		parts := make([]string, len(s.Phases))
+		for i, ph := range s.Phases {
+			parts[i] = fmt.Sprintf("%s@%d", joinFloats(ph.Weights), ph.Steps)
+		}
+		return "phased:" + strings.Join(parts, "/")
 	case SchedAdversary:
 		return fmt.Sprintf("adversary:%d", s.Victim)
 	default:
@@ -316,27 +410,129 @@ func (s SchedulerSpec) String() string {
 	}
 }
 
-// ParseScheduler parses the cmd/pwfsim scheduler flag syntax:
-// uniform, roundrobin, lottery, sticky:<rho>, adversary:<victim>.
+func joinFloats(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// UnmarshalJSON accepts the object form or the compact string form
+// ("sticky:0.9"), the latter decoded through ParseScheduler so the
+// CLI flag grammar and the wire format are one grammar.
+func (s *SchedulerSpec) UnmarshalJSON(b []byte) error {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, `"`) {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		spec, err := ParseScheduler(name)
+		if err != nil {
+			return err
+		}
+		*s = spec
+		return nil
+	}
+	// plain decodes without recursing into this method.
+	type plain SchedulerSpec
+	var p plain
+	if err := json.Unmarshal(b, &p); err != nil {
+		return err
+	}
+	*s = SchedulerSpec(p)
+	return nil
+}
+
+// ParseScheduler parses the shared scheduler grammar used by the CLI
+// -sched flags and the JSON string form of SchedulerSpec:
+//
+//	uniform                      the paper's uniform scheduler
+//	roundrobin                   deterministic fair baseline
+//	sticky:<rho>                 Markov-modulated, rho in [0, 1)
+//	lottery                      one ticket per process
+//	lottery:<t1>,<t2>,...        explicit tickets (fixes n)
+//	weighted                     weight 1 per process
+//	weighted:<w1>,<w2>,...       explicit weights (fixes n)
+//	phased:<w..>@<steps>/...     cyclic phases, e.g. phased:3,1@50/1,3@50
+//	adversary:<victim>           singles out one process, θ = 0
 func ParseScheduler(name string) (SchedulerSpec, error) {
-	switch {
-	case name == "uniform":
-		return SchedulerSpec{Kind: SchedUniform}, nil
-	case name == "roundrobin":
-		return SchedulerSpec{Kind: SchedRoundRobin}, nil
-	case name == "lottery":
-		return SchedulerSpec{Kind: SchedLottery}, nil
-	case strings.HasPrefix(name, "sticky:"):
-		rho, err := strconv.ParseFloat(strings.TrimPrefix(name, "sticky:"), 64)
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch SchedKind(kind) {
+	case SchedUniform, SchedRoundRobin:
+		if hasArg {
+			return SchedulerSpec{}, fmt.Errorf("sweep: scheduler %q takes no argument", kind)
+		}
+		return SchedulerSpec{Kind: SchedKind(kind)}, nil
+	case SchedSticky:
+		if !hasArg {
+			return SchedulerSpec{}, errors.New(`sweep: sticky needs a stickiness, e.g. "sticky:0.9"`)
+		}
+		rho, err := strconv.ParseFloat(arg, 64)
 		if err != nil {
 			return SchedulerSpec{}, fmt.Errorf("sweep: parse sticky rho: %w", err)
 		}
-		if rho < 0 || rho >= 1 {
+		if rho < 0 || rho >= 1 || math.IsNaN(rho) {
 			return SchedulerSpec{}, fmt.Errorf("sweep: sticky rho %v out of [0, 1)", rho)
 		}
 		return SchedulerSpec{Kind: SchedSticky, Rho: rho}, nil
-	case strings.HasPrefix(name, "adversary:"):
-		victim, err := strconv.Atoi(strings.TrimPrefix(name, "adversary:"))
+	case SchedLottery:
+		if !hasArg {
+			return SchedulerSpec{Kind: SchedLottery}, nil
+		}
+		fields := strings.Split(arg, ",")
+		tickets := make([]int, len(fields))
+		for i, f := range fields {
+			t, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return SchedulerSpec{}, fmt.Errorf("sweep: parse lottery ticket %q: %w", f, err)
+			}
+			if t < 1 {
+				return SchedulerSpec{}, fmt.Errorf("sweep: lottery ticket %d must be positive", t)
+			}
+			tickets[i] = t
+		}
+		return SchedulerSpec{Kind: SchedLottery, Tickets: tickets}, nil
+	case SchedWeighted:
+		if !hasArg {
+			return SchedulerSpec{Kind: SchedWeighted}, nil
+		}
+		weights, err := parseWeights(arg)
+		if err != nil {
+			return SchedulerSpec{}, err
+		}
+		return SchedulerSpec{Kind: SchedWeighted, Weights: weights}, nil
+	case SchedPhased:
+		if !hasArg || arg == "" {
+			return SchedulerSpec{}, errors.New(`sweep: phased needs phases, e.g. "phased:3,1@50/1,3@50"`)
+		}
+		segs := strings.Split(arg, "/")
+		phases := make([]PhaseSpec, len(segs))
+		for i, seg := range segs {
+			ws, stepsStr, ok := strings.Cut(seg, "@")
+			if !ok {
+				return SchedulerSpec{}, fmt.Errorf("sweep: phase %q needs the form <weights>@<steps>", seg)
+			}
+			weights, err := parseWeights(ws)
+			if err != nil {
+				return SchedulerSpec{}, fmt.Errorf("sweep: phase %d: %w", i, err)
+			}
+			steps, err := strconv.ParseUint(stepsStr, 10, 64)
+			if err != nil {
+				return SchedulerSpec{}, fmt.Errorf("sweep: parse phase %d length %q: %w", i, stepsStr, err)
+			}
+			if steps < 1 {
+				return SchedulerSpec{}, fmt.Errorf("sweep: phase %d has zero length", i)
+			}
+			phases[i] = PhaseSpec{Weights: weights, Steps: steps}
+		}
+		return SchedulerSpec{Kind: SchedPhased, Phases: phases}, nil
+	case SchedAdversary:
+		if !hasArg {
+			return SchedulerSpec{}, errors.New(`sweep: adversary needs a victim, e.g. "adversary:0"`)
+		}
+		victim, err := strconv.Atoi(arg)
 		if err != nil {
 			return SchedulerSpec{}, fmt.Errorf("sweep: parse adversary victim: %w", err)
 		}
@@ -344,4 +540,22 @@ func ParseScheduler(name string) (SchedulerSpec, error) {
 	default:
 		return SchedulerSpec{}, fmt.Errorf("sweep: unknown scheduler %q", name)
 	}
+}
+
+// parseWeights parses a comma-separated list of strictly positive
+// finite floats.
+func parseWeights(s string) ([]float64, error) {
+	fields := strings.Split(s, ",")
+	weights := make([]float64, len(fields))
+	for i, f := range fields {
+		w, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: parse weight %q: %w", f, err)
+		}
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, fmt.Errorf("sweep: weight %v must be strictly positive and finite", w)
+		}
+		weights[i] = w
+	}
+	return weights, nil
 }

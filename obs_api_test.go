@@ -48,14 +48,14 @@ func TestRunWithRecorderMetrics(t *testing.T) {
 	}
 }
 
-func TestRunSweepWithSweepTrace(t *testing.T) {
+func TestRunSweepWithTrace(t *testing.T) {
 	var buf bytes.Buffer
 	jobs := []pwf.SweepJob{
 		{Workload: pwf.SCUWorkload(0, 1), N: 2, Steps: 5000},
 		{Workload: pwf.FetchIncWorkload(), N: 2, Steps: 5000},
 	}
 	_, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1},
-		pwf.WithSweepTrace(&buf))
+		pwf.WithTrace(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,149 @@
+package pwf_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"pwf"
+)
+
+// optionScopes is the documented scope of every With* option: whether
+// it applies to Run, to RunSweep, or to both. The companion AST scan
+// below asserts this table covers every option constructor in the
+// package, so adding an option without deciding (and documenting) its
+// sweep counterpart fails this test.
+var optionScopes = []struct {
+	opt        pwf.Option
+	run, sweep bool
+}{
+	{pwf.WithScheduler(pwf.UniformSpec()), true, false},
+	{pwf.WithSteps(1000), true, false},
+	{pwf.WithWarmupFraction(0.1), true, true},
+	{pwf.WithSeed(7), true, true},
+	{pwf.WithRecorder(nil), true, true},
+	{pwf.WithTrace(&bytes.Buffer{}), true, true},
+	{pwf.WithChainCache(nil), true, true},
+	{pwf.WithWorkers(2), false, true},
+	{pwf.WithProgress(nil), false, true},
+	{pwf.WithFamilyBatching(), false, true},
+}
+
+// Every Run option must have a sweep counterpart or a documented
+// reason not to (and vice versa), and misapplying a single-scoped
+// option must fail loudly.
+func TestOptionScopesDeclared(t *testing.T) {
+	for _, tc := range optionScopes {
+		name := tc.opt.Name()
+		if name == "" {
+			t.Error("option with empty name in scope table")
+			continue
+		}
+		if got := tc.opt.AppliesToRun(); got != tc.run {
+			t.Errorf("%s: AppliesToRun = %v, want %v", name, got, tc.run)
+		}
+		if got := tc.opt.AppliesToSweep(); got != tc.sweep {
+			t.Errorf("%s: AppliesToSweep = %v, want %v", name, got, tc.sweep)
+		}
+		if tc.run != tc.sweep && tc.opt.ScopeNote() == "" {
+			t.Errorf("%s applies to only one entry point but documents no reason", name)
+		}
+		if tc.run && tc.sweep && tc.opt.ScopeNote() != "" {
+			t.Errorf("%s applies to both entry points yet carries scope note %q",
+				name, tc.opt.ScopeNote())
+		}
+	}
+}
+
+// The scope table covers every exported With* constructor returning
+// Option — discovered by parsing the package source, so new options
+// cannot dodge the scope decision.
+func TestOptionScopeTableIsComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, pkg := range pkgs {
+		if pkg.Name != "pwf" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || !fn.Name.IsExported() {
+					continue
+				}
+				if len(fn.Name.Name) < 5 || fn.Name.Name[:4] != "With" {
+					continue
+				}
+				res := fn.Type.Results
+				if res == nil || len(res.List) != 1 {
+					continue
+				}
+				if id, ok := res.List[0].Type.(*ast.Ident); ok && id.Name == "Option" {
+					declared[fn.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("AST scan found no option constructors")
+	}
+	inTable := map[string]bool{}
+	for _, tc := range optionScopes {
+		inTable[tc.opt.Name()] = true
+	}
+	for name := range declared {
+		if !inTable[name] {
+			t.Errorf("option %s has no entry in the scope table — decide whether it lifts to sweeps and add it", name)
+		}
+	}
+	for name := range inTable {
+		if !declared[name] {
+			t.Errorf("scope table names %s, which the AST scan did not find (renamed or removed?)", name)
+		}
+	}
+}
+
+// Misapplied options error instead of being silently dropped.
+func TestOptionsOutOfScopeError(t *testing.T) {
+	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(1000))
+	if _, err := pwf.Run(cfg, pwf.WithWorkers(2)); err == nil {
+		t.Error("Run accepted the sweep-only WithWorkers")
+	}
+	jobs := []pwf.SweepJob{{Workload: pwf.SCUWorkload(0, 1), N: 2, Steps: 1000}}
+	if _, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1},
+		pwf.WithSteps(5000)); err == nil {
+		t.Error("RunSweep accepted the run-only WithSteps")
+	}
+}
+
+// The lifted options actually take effect on sweeps.
+func TestLiftedSweepOptions(t *testing.T) {
+	jobs := []pwf.SweepJob{
+		{Workload: pwf.SCUWorkload(0, 1), N: 3, Steps: 20000},
+		{Workload: pwf.FetchIncWorkload(), N: 3, Steps: 20000},
+	}
+	progress := 0
+	base, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs},
+		pwf.WithSeed(42), pwf.WithWorkers(1), pwf.WithFamilyBatching(),
+		pwf.WithProgress(func(done, total int) { progress = done }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != len(jobs) {
+		t.Errorf("progress callback reached %d of %d", progress, len(jobs))
+	}
+	warmed, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs},
+		pwf.WithSeed(42), pwf.WithWarmupFraction(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[0].Latencies == warmed[0].Latencies {
+		t.Error("lifted warmup option had no effect on the sweep")
+	}
+}

@@ -149,31 +149,6 @@ const UnboundedMemSize = scu.UnboundedLayout
 // rate, Jain's fairness index, and the completion count.
 type Latencies = sweep.Latencies
 
-// SimulateSCU measures an SCU(q, s) object with n processes under the
-// uniform stochastic scheduler for the given number of steps (plus a
-// 10% warmup).
-//
-// Deprecated: use Run with SCUWorkload, which also exposes the
-// scheduler model and warmup window:
-//
-//	Run(NewRunConfig(SCUWorkload(q, s), n), WithSteps(steps), WithSeed(seed))
-func SimulateSCU(n, q, s int, steps, seed uint64) (Latencies, error) {
-	return Run(NewRunConfig(SCUWorkload(q, s), n),
-		WithSteps(steps), WithSeed(seed))
-}
-
-// SimulateFetchInc measures the fetch-and-increment counter with n
-// processes under the uniform stochastic scheduler.
-//
-// Deprecated: use Run with FetchIncWorkload, which also exposes the
-// scheduler model and warmup window:
-//
-//	Run(NewRunConfig(FetchIncWorkload(), n), WithSteps(steps), WithSeed(seed))
-func SimulateFetchInc(n int, steps, seed uint64) (Latencies, error) {
-	return Run(NewRunConfig(FetchIncWorkload(), n),
-		WithSteps(steps), WithSeed(seed))
-}
-
 // ExactSCUSystemLatency returns the exact system latency W of
 // SCU(0, 1) with n processes, from the stationary distribution of the
 // Section 6.1.1 system chain. Theorem 5 bounds it by O(√n). The chain

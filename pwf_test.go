@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-func TestSimulateSCUQuick(t *testing.T) {
-	lat, err := SimulateSCU(4, 0, 1, 100000, 1)
+func TestRunSCUQuick(t *testing.T) {
+	lat, err := Run(NewRunConfig(SCUWorkload(0, 1), 4),
+		WithSteps(100000), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +29,9 @@ func TestSimulateSCUQuick(t *testing.T) {
 	}
 }
 
-func TestSimulateFetchIncMatchesExact(t *testing.T) {
-	lat, err := SimulateFetchInc(8, 200000, 2)
+func TestRunFetchIncMatchesExact(t *testing.T) {
+	lat, err := Run(NewRunConfig(FetchIncWorkload(), 8),
+		WithSteps(200000), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}

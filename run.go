@@ -94,6 +94,9 @@ type RunConfig struct {
 	// Recorder, when non-nil, receives the run's step-level telemetry
 	// events (package obs semantics; see WithRecorder/WithTrace).
 	Recorder Recorder
+	// Cache memoizes exact-chain constructions; nil selects the
+	// process-wide default cache.
+	Cache *ChainCache
 }
 
 // Default measurement settings of NewRunConfig.
@@ -105,52 +108,166 @@ const (
 	DefaultSeed           = 1
 )
 
-// RunOption overrides one RunConfig setting.
-type RunOption func(*RunConfig)
+// Option configures Run, RunSweep, or both. Every With* constructor
+// states its scope; most options apply to both entry points and are
+// defined once, not mirrored. Applying an option outside its scope is
+// an error (Run and RunSweep report it), so misuse fails loudly
+// instead of being dropped. Use AppliesToRun/AppliesToSweep to check
+// a scope programmatically, and ScopeNote for the documented reason a
+// single-scoped option does not lift.
+type Option struct {
+	name  string
+	run   func(*RunConfig)
+	sweep func(*SweepConfig)
+	// scopeNote documents why a single-scoped option does not apply
+	// to the other entry point.
+	scopeNote string
+}
+
+// RunOption is kept as a name for Options passed to Run.
+type RunOption = Option
+
+// SweepOption is kept as a name for Options passed to RunSweep.
+type SweepOption = Option
+
+// Name returns the option's constructor name, e.g. "WithSeed".
+func (o Option) Name() string { return o.name }
+
+// AppliesToRun reports whether the option configures Run.
+func (o Option) AppliesToRun() bool { return o.run != nil }
+
+// AppliesToSweep reports whether the option configures RunSweep.
+func (o Option) AppliesToSweep() bool { return o.sweep != nil }
+
+// ScopeNote returns the documented reason a single-scoped option does
+// not lift to the other entry point (empty for dual-scoped options).
+func (o Option) ScopeNote() string { return o.scopeNote }
 
 // WithScheduler selects the scheduler model (default: uniform).
-func WithScheduler(s SchedulerSpec) RunOption {
-	return func(c *RunConfig) { c.Scheduler = s }
+// Run-only: each sweep job carries its own SchedulerSpec.
+func WithScheduler(s SchedulerSpec) Option {
+	return Option{
+		name:      "WithScheduler",
+		run:       func(c *RunConfig) { c.Scheduler = s },
+		scopeNote: "each sweep job carries its own SchedulerSpec",
+	}
 }
 
 // WithSteps sets the measurement window (default: DefaultSteps).
-func WithSteps(steps uint64) RunOption {
-	return func(c *RunConfig) { c.Steps = steps }
+// Run-only: Steps is a per-job field of SweepJob.
+func WithSteps(steps uint64) Option {
+	return Option{
+		name:      "WithSteps",
+		run:       func(c *RunConfig) { c.Steps = steps },
+		scopeNote: "Steps is a per-job field of SweepJob",
+	}
 }
 
 // WithWarmupFraction sets the warmup as a fraction of the measurement
-// window (default: DefaultWarmupFraction). Run rejects values outside
-// [0, 1).
-func WithWarmupFraction(f float64) RunOption {
-	return func(c *RunConfig) { c.WarmupFraction = f }
+// window (default: DefaultWarmupFraction for Run). On a sweep it
+// overrides every job's WarmupFraction. Values outside [0, 1) are
+// rejected.
+func WithWarmupFraction(f float64) Option {
+	return Option{
+		name:  "WithWarmupFraction",
+		run:   func(c *RunConfig) { c.WarmupFraction = f },
+		sweep: func(c *SweepConfig) { c.Warmup = &f },
+	}
 }
 
-// WithSeed sets the rng seed (default: DefaultSeed).
-func WithSeed(seed uint64) RunOption {
-	return func(c *RunConfig) { c.Seed = seed }
+// WithSeed sets the rng seed (default: DefaultSeed). On a sweep it is
+// the master seed job streams derive from.
+func WithSeed(seed uint64) Option {
+	return Option{
+		name:  "WithSeed",
+		run:   func(c *RunConfig) { c.Seed = seed },
+		sweep: func(c *SweepConfig) { c.Seed = seed },
+	}
 }
 
 // WithRecorder attaches a step-level telemetry recorder: the run
 // emits scheduling, CAS, retry, operation-boundary, and crash events
 // to it (default: none; the disabled hooks cost one branch per step).
-// Combine sinks with MultiRecorder.
-func WithRecorder(r Recorder) RunOption {
-	return func(c *RunConfig) { c.Recorder = r }
+// On a sweep the recorder additionally receives job lifecycle events;
+// jobs run concurrently, so it must be safe for concurrent use and
+// events from different jobs interleave nondeterministically. Combine
+// sinks with MultiRecorder.
+func WithRecorder(r Recorder) Option {
+	return Option{
+		name:  "WithRecorder",
+		run:   func(c *RunConfig) { c.Recorder = r },
+		sweep: func(c *SweepConfig) { c.Recorder = r },
+	}
 }
 
-// WithTrace records the run's events as NDJSON to w, one event per
-// line (a convenience over WithRecorder(NewTraceRecorder(w)); the
-// trace is flushed when Run returns). It replaces any previously set
-// recorder — to trace and aggregate metrics at once, compose
-// explicitly with MultiRecorder.
-func WithTrace(w io.Writer) RunOption {
-	return func(c *RunConfig) { c.Recorder = obs.NewTraceRecorder(w) }
+// WithTrace records the run's (or the whole sweep's) events as NDJSON
+// to w, one event per line (a convenience over
+// WithRecorder(NewTraceRecorder(w)); the trace is flushed when
+// Run/RunSweep returns). It replaces any previously set recorder — to
+// trace and aggregate metrics at once, compose explicitly with
+// MultiRecorder. In a sweep, use the job_start/job_end Job index to
+// attribute interleaved step events.
+func WithTrace(w io.Writer) Option {
+	rec := func() *TraceRecorder { return obs.NewTraceRecorder(w) }
+	return Option{
+		name:  "WithTrace",
+		run:   func(c *RunConfig) { c.Recorder = rec() },
+		sweep: func(c *SweepConfig) { c.Recorder = rec() },
+	}
+}
+
+// WithChainCache selects the memoization cache for exact-chain
+// analyses (default: the process-wide cache shared by all runs).
+func WithChainCache(cache *ChainCache) Option {
+	return Option{
+		name:  "WithChainCache",
+		run:   func(c *RunConfig) { c.Cache = cache },
+		sweep: func(c *SweepConfig) { c.Cache = cache },
+	}
+}
+
+// WithWorkers bounds the sweep's worker pool (default: GOMAXPROCS).
+// Results are identical for any worker count. Sweep-only: Run
+// executes exactly one job, so there is no pool to size.
+func WithWorkers(workers int) Option {
+	return Option{
+		name:      "WithWorkers",
+		sweep:     func(c *SweepConfig) { c.Workers = workers },
+		scopeNote: "Run executes exactly one job, so there is no pool to size",
+	}
+}
+
+// WithProgress calls fn after each sweep job completes with the
+// number of completed jobs and the total; calls are serialized but
+// arrive in completion order. Sweep-only: a single run has no
+// job-level progress to report.
+func WithProgress(fn func(done, total int)) Option {
+	return Option{
+		name:      "WithProgress",
+		sweep:     func(c *SweepConfig) { c.Progress = fn },
+		scopeNote: "a single run has no job-level progress to report",
+	}
+}
+
+// WithFamilyBatching reorders sweep job execution so compatible jobs
+// — same workload family and parameters, scheduler kind, exactness —
+// run adjacently and share ChainCache entries and hot code paths.
+// Results and seeds are byte-identical with batching on or off.
+// Sweep-only: a single job has nothing to batch with.
+func WithFamilyBatching() Option {
+	return Option{
+		name:      "WithFamilyBatching",
+		sweep:     func(c *SweepConfig) { c.BatchFamilies = true },
+		scopeNote: "a single job has nothing to batch with",
+	}
 }
 
 // NewRunConfig returns the configuration for measuring workload w with
 // n processes under the defaults: uniform scheduler, DefaultSteps
-// steps, DefaultWarmupFraction warmup, DefaultSeed seed.
-func NewRunConfig(w Workload, n int, opts ...RunOption) RunConfig {
+// steps, DefaultWarmupFraction warmup, DefaultSeed seed. Only the
+// Run-scoped part of each option applies here; sweep-only options are
+// ignored (Run itself reports them as errors).
+func NewRunConfig(w Workload, n int, opts ...Option) RunConfig {
 	cfg := RunConfig{
 		Workload:       w,
 		N:              n,
@@ -160,7 +277,9 @@ func NewRunConfig(w Workload, n int, opts ...RunOption) RunConfig {
 		Scheduler:      UniformSpec(),
 	}
 	for _, opt := range opts {
-		opt(&cfg)
+		if opt.run != nil {
+			opt.run(&cfg)
+		}
 	}
 	return cfg
 }
@@ -175,9 +294,13 @@ func NewRunConfig(w Workload, n int, opts ...RunOption) RunConfig {
 // It validates cfg (in particular WarmupFraction must lie in [0, 1))
 // and runs warmup + measurement, returning the latency and fairness
 // metrics.
-func Run(cfg RunConfig, opts ...RunOption) (Latencies, error) {
+func Run(cfg RunConfig, opts ...Option) (Latencies, error) {
 	for _, opt := range opts {
-		opt(&cfg)
+		if opt.run == nil {
+			return Latencies{}, fmt.Errorf("pwf: option %s does not apply to Run: %s",
+				opt.name, opt.scopeNote)
+		}
+		opt.run(&cfg)
 	}
 	res, err := sweep.RunJob(sweep.Job{
 		Workload:       cfg.Workload,
@@ -186,7 +309,7 @@ func Run(cfg RunConfig, opts ...RunOption) (Latencies, error) {
 		Steps:          cfg.Steps,
 		WarmupFraction: cfg.WarmupFraction,
 		Recorder:       cfg.Recorder,
-	}, cfg.Seed, nil)
+	}, cfg.Seed, cfg.Cache)
 	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {
 		if ferr := tr.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -204,28 +327,12 @@ type SweepJob = sweep.Job
 // SweepResult is the structured outcome of one sweep job.
 type SweepResult = sweep.Result
 
-// SweepConfig describes a sweep: a job grid, a master seed, and an
-// optional worker-pool bound, chain cache, and progress callback.
+// SweepConfig describes a sweep: a job grid, a master seed, and
+// optional worker-pool bound, chain cache, warmup override, family
+// batching, progress and per-result callbacks, cancellation context,
+// and recorder. Most fields are settable through the same With*
+// options Run takes.
 type SweepConfig = sweep.Config
-
-// SweepOption overrides one SweepConfig setting in RunSweep.
-type SweepOption func(*SweepConfig)
-
-// WithSweepRecorder attaches a recorder to every job of the sweep
-// (job-lifecycle events plus each job's step-level events). Jobs run
-// concurrently, so the recorder must be safe for concurrent use and
-// events from different jobs interleave nondeterministically.
-func WithSweepRecorder(r Recorder) SweepOption {
-	return func(c *SweepConfig) { c.Recorder = r }
-}
-
-// WithSweepTrace records the sweep's events as NDJSON to w (the
-// TraceRecorder serializes concurrent writers; the trace is flushed
-// when RunSweep returns). Use the job_start/job_end Job index to
-// attribute interleaved step events.
-func WithSweepTrace(w io.Writer) SweepOption {
-	return func(c *SweepConfig) { c.Recorder = obs.NewTraceRecorder(w) }
-}
 
 // RunSweep executes a grid of independent jobs on a worker pool sized
 // to GOMAXPROCS (or SweepConfig.Workers) and returns one result per
@@ -240,9 +347,13 @@ func WithSweepTrace(w io.Writer) SweepOption {
 //	        {Workload: pwf.FetchIncWorkload(), N: 16, Steps: 1_000_000},
 //	}
 //	results, err := pwf.RunSweep(pwf.SweepConfig{Jobs: jobs, Seed: 1})
-func RunSweep(cfg SweepConfig, opts ...SweepOption) ([]SweepResult, error) {
+func RunSweep(cfg SweepConfig, opts ...Option) ([]SweepResult, error) {
 	for _, opt := range opts {
-		opt(&cfg)
+		if opt.sweep == nil {
+			return nil, fmt.Errorf("pwf: option %s does not apply to RunSweep: %s",
+				opt.name, opt.scopeNote)
+		}
+		opt.sweep(&cfg)
 	}
 	res, err := sweep.Run(cfg)
 	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {

@@ -7,42 +7,6 @@ import (
 	"pwf"
 )
 
-func TestRunMatchesDeprecatedSimulate(t *testing.T) {
-	// The deprecated wrappers are defined as Run calls; the unified
-	// entry point must reproduce their historical behaviour exactly
-	// (uniform scheduler seeded directly, 10% warmup).
-	const (
-		n     = 6
-		steps = 50000
-		seed  = 11
-	)
-	oldSCU, err := pwf.SimulateSCU(n, 0, 1, steps, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newSCU, err := pwf.Run(pwf.NewRunConfig(pwf.SCUWorkload(0, 1), n),
-		pwf.WithSteps(steps), pwf.WithSeed(seed))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldSCU != newSCU {
-		t.Errorf("Run %+v != SimulateSCU %+v", newSCU, oldSCU)
-	}
-
-	oldFI, err := pwf.SimulateFetchInc(n, steps, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newFI, err := pwf.Run(pwf.NewRunConfig(pwf.FetchIncWorkload(), n),
-		pwf.WithSteps(steps), pwf.WithSeed(seed))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldFI != newFI {
-		t.Errorf("Run %+v != SimulateFetchInc %+v", newFI, oldFI)
-	}
-}
-
 func TestRunWarmupFractionValidated(t *testing.T) {
 	cfg := pwf.NewRunConfig(pwf.SCUWorkload(0, 1), 4, pwf.WithSteps(1000))
 	for _, f := range []float64{-0.1, 1, 1.5, math.NaN()} {
