@@ -1,20 +1,30 @@
 // Command pwfbench measures the cost of scheduler sampling and of
 // end-to-end simulation, and emits the results as machine-readable
-// JSON (BENCH_sched.json at the repository root) so successive PRs
-// can diff steps/sec instead of re-reading prose. It times two things:
+// per-subsystem JSON files (BENCH_sched.json and BENCH_sweep.json at
+// the repository root) so successive PRs can diff steps/sec instead
+// of re-reading prose. It times two things:
 //
 //   - the per-draw cost of every stochastic scheduler, fast path
 //     (alias table / Fenwick tree / dense active set) against the
 //     naive O(n) reference samplers, over the paper-scale process
-//     counts; and
+//     counts (BENCH_sched.json); and
 //   - the end-to-end simulated steps per second of a sweep job at the
-//     same process counts, which is what the ROADMAP's "as fast as
-//     the hardware allows" goal is scored on.
+//     same process counts, on the scalar path and through the
+//     replica-batched core, which is what the ROADMAP's "as fast as
+//     the hardware allows" goal is scored on (BENCH_sweep.json).
+//
+// Files written with -outdir omit the host and timestamp metadata so
+// the checked-in copies diff cleanly PR over PR; the stdout report
+// keeps them. -check compares the freshly measured sweep rows
+// against a checked-in baseline and exits non-zero when any
+// ns-per-step figure regressed beyond -tolerance, which is how CI
+// catches sweep-core slowdowns.
 //
 // Usage:
 //
-//	pwfbench                     # print JSON to stdout
-//	pwfbench -out BENCH_sched.json
+//	pwfbench                                # print combined JSON to stdout
+//	pwfbench -outdir .                      # write BENCH_sched.json + BENCH_sweep.json
+//	pwfbench -outdir . -check BENCH_sweep.json -tolerance 0.25
 //	pwfbench -n 16,256,1024,4096 -draws 200000 -steps 100000
 package main
 
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -41,17 +52,19 @@ func main() {
 	}
 }
 
-// Report is the top-level BENCH_sched.json schema.
+// Report is the combined stdout schema; the per-subsystem files each
+// carry one of the two sections. Generated and Host are omitted from
+// files written with -outdir so checked-in copies diff cleanly.
 type Report struct {
 	// Generated is the RFC 3339 measurement time.
-	Generated string `json:"generated"`
+	Generated string `json:"generated,omitempty"`
 	// Host describes the measuring machine; wall-clock numbers are
 	// only comparable within one host.
-	Host Host `json:"host"`
-	// Draw holds per-draw scheduler sampling costs.
-	Draw []DrawResult `json:"draw"`
-	// Sweep holds end-to-end simulation throughput.
-	Sweep []SweepResult `json:"sweep"`
+	Host *Host `json:"host,omitempty"`
+	// Draw holds per-draw scheduler sampling costs (BENCH_sched.json).
+	Draw []DrawResult `json:"draw,omitempty"`
+	// Sweep holds end-to-end simulation throughput (BENCH_sweep.json).
+	Sweep []SweepResult `json:"sweep,omitempty"`
 }
 
 // Host identifies the benchmark environment.
@@ -75,25 +88,37 @@ type DrawResult struct {
 	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
 }
 
-// SweepResult is one end-to-end simulation throughput point.
+// SweepResult is one end-to-end simulation throughput point: the
+// scalar per-job path and the replica-batched core on the same job
+// shape.
 type SweepResult struct {
-	Sched       string  `json:"sched"`
-	Workload    string  `json:"workload"`
-	N           int     `json:"n"`
-	Steps       uint64  `json:"steps"`
-	NsPerStep   float64 `json:"ns_per_step"`
-	StepsPerSec float64 `json:"steps_per_sec"`
+	Sched    string `json:"sched"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Steps    uint64 `json:"steps"`
+	// Scalar path: one replica per RunJob call.
+	ScalarNsPerStep   float64 `json:"scalar_ns_per_step"`
+	ScalarStepsPerSec float64 `json:"scalar_steps_per_sec"`
+	// Batched path: BatchWidth same-shape replicas per loop iteration.
+	BatchWidth       int     `json:"batch_width"`
+	BatchNsPerStep   float64 `json:"batch_ns_per_step"`
+	BatchStepsPerSec float64 `json:"batch_steps_per_sec"`
+	// BatchSpeedup is ScalarNsPerStep / BatchNsPerStep.
+	BatchSpeedup float64 `json:"batch_speedup"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pwfbench", flag.ContinueOnError)
 	var (
-		outPath = fs.String("out", "", "write JSON here instead of stdout")
-		nList   = fs.String("n", "16,256,1024,4096", "comma-separated process counts")
-		draws   = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
-		steps   = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
-		reps    = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
-		scheds  = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
+		outDir    = fs.String("outdir", "", "write BENCH_sched.json and BENCH_sweep.json into this directory (host metadata stripped) instead of printing to stdout")
+		nList     = fs.String("n", "16,256,1024,4096", "comma-separated process counts")
+		draws     = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
+		steps     = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
+		reps      = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
+		width     = fs.Int("width", 16, "replica-batch width for the batched sweep timings")
+		scheds    = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
+		checkPath = fs.String("check", "", "compare measured sweep rows against this baseline BENCH_sweep.json and fail on regression")
+		tolerance = fs.Float64("tolerance", 0.25, "relative ns-per-step slowdown tolerated by -check (0.25 = 25%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,8 +127,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *draws < 1 || *steps < 1 || *reps < 1 {
-		return fmt.Errorf("-draws, -steps and -reps must be >= 1")
+	if *draws < 1 || *steps < 1 || *reps < 1 || *width < 1 {
+		return fmt.Errorf("-draws, -steps, -reps and -width must be >= 1")
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0")
 	}
 	specs, err := parseScheds(*scheds)
 	if err != nil {
@@ -112,7 +140,7 @@ func run(args []string, out io.Writer) error {
 
 	rep := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
-		Host: Host{
+		Host: &Host{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
@@ -128,23 +156,107 @@ func run(args []string, out io.Writer) error {
 		rep.Draw = append(rep.Draw, res...)
 	}
 	for _, n := range ns {
-		res, err := measureSweeps(n, *steps, *reps, specs)
+		res, err := measureSweeps(n, *steps, *reps, *width, specs)
 		if err != nil {
 			return err
 		}
 		rep.Sweep = append(rep.Sweep, res...)
 	}
 
+	// Compare against the baseline before -outdir overwrites it, but
+	// still write the fresh files either way so the new numbers are
+	// available as an artifact even on a failing check.
+	var checkErr error
+	if *checkPath != "" {
+		checkErr = checkRegression(*checkPath, rep.Sweep, *tolerance)
+	}
+	if *outDir != "" {
+		if err := writeReports(*outDir, rep); err != nil {
+			return err
+		}
+		return checkErr
+	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
-	if *outPath != "" {
-		return os.WriteFile(*outPath, enc, 0o644)
+	if _, err := out.Write(enc); err != nil {
+		return err
 	}
-	_, err = out.Write(enc)
-	return err
+	return checkErr
+}
+
+// writeReports writes the per-subsystem files with host metadata
+// stripped, so regenerating on another machine only diffs the
+// numbers.
+func writeReports(dir string, rep Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		rep  Report
+	}{
+		{"BENCH_sched.json", Report{Draw: rep.Draw}},
+		{"BENCH_sweep.json", Report{Sweep: rep.Sweep}},
+	}
+	for _, f := range files {
+		enc, err := json.MarshalIndent(f.rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(filepath.Join(dir, f.name), enc, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRegression fails when a measured sweep row is more than
+// tolerance slower (in ns/step, scalar or batched) than the matching
+// row of the baseline file. Rows are matched on (sched, workload, n,
+// steps); rows without a baseline counterpart pass, so grid changes
+// do not trip the gate.
+func checkRegression(path string, cur []SweepResult, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-check baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-check baseline %s: %w", path, err)
+	}
+	key := func(r SweepResult) string {
+		return fmt.Sprintf("%s|%s|%d|%d", r.Sched, r.Workload, r.N, r.Steps)
+	}
+	byKey := map[string]SweepResult{}
+	for _, r := range base.Sweep {
+		byKey[key(r)] = r
+	}
+	var regressions []string
+	for _, r := range cur {
+		b, ok := byKey[key(r)]
+		if !ok {
+			continue
+		}
+		if b.ScalarNsPerStep > 0 && r.ScalarNsPerStep > b.ScalarNsPerStep*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s n=%d scalar: %.2f ns/step vs baseline %.2f",
+				r.Sched, r.N, r.ScalarNsPerStep, b.ScalarNsPerStep))
+		}
+		if b.BatchNsPerStep > 0 && r.BatchNsPerStep > b.BatchNsPerStep*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s n=%d batch: %.2f ns/step vs baseline %.2f",
+				r.Sched, r.N, r.BatchNsPerStep, b.BatchNsPerStep))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("sweep throughput regressed beyond %.0f%%:\n  %s",
+			tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // parseScheds parses the -scheds list with the same grammar pwfsim's
@@ -361,7 +473,7 @@ func measureDraws(n, draws, reps int) ([]DrawResult, error) {
 	return out, nil
 }
 
-func measureSweeps(n int, steps uint64, reps int, specs []sweep.SchedulerSpec) ([]SweepResult, error) {
+func measureSweeps(n int, steps uint64, reps, width int, specs []sweep.SchedulerSpec) ([]SweepResult, error) {
 	var out []SweepResult
 	for _, spec := range specs {
 		job := sweep.Job{
@@ -371,24 +483,47 @@ func measureSweeps(n int, steps uint64, reps int, specs []sweep.SchedulerSpec) (
 			Steps:    steps,
 			Crash:    1,
 		}
-		best := time.Duration(0)
+		scalar := time.Duration(0)
 		for r := 0; r < reps; r++ {
 			start := time.Now()
 			if _, err := sweep.RunJob(job, 1, nil); err != nil {
 				return nil, fmt.Errorf("sweep %s n=%d: %w", spec.Kind, n, err)
 			}
-			if d := time.Since(start); r == 0 || d < best {
-				best = d
+			if d := time.Since(start); r == 0 || d < scalar {
+				scalar = d
 			}
 		}
-		sec := best.Seconds()
+		batchJob := job
+		batchJob.Replicas = width
+		cfg := sweep.Config{
+			Jobs:         []sweep.Job{batchJob},
+			Seed:         1,
+			Workers:      1,
+			ReplicaBatch: width,
+		}
+		batch := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := sweep.Run(cfg); err != nil {
+				return nil, fmt.Errorf("batched sweep %s n=%d: %w", spec.Kind, n, err)
+			}
+			if d := time.Since(start); r == 0 || d < batch {
+				batch = d
+			}
+		}
+		scalarNs := float64(scalar.Nanoseconds()) / float64(steps)
+		batchNs := float64(batch.Nanoseconds()) / (float64(steps) * float64(width))
 		out = append(out, SweepResult{
-			Sched:       spec.String(),
-			Workload:    string(sweep.SCU),
-			N:           n,
-			Steps:       steps,
-			NsPerStep:   float64(best.Nanoseconds()) / float64(steps),
-			StepsPerSec: float64(steps) / sec,
+			Sched:             spec.String(),
+			Workload:          string(sweep.SCU),
+			N:                 n,
+			Steps:             steps,
+			ScalarNsPerStep:   scalarNs,
+			ScalarStepsPerSec: float64(steps) / scalar.Seconds(),
+			BatchWidth:        width,
+			BatchNsPerStep:    batchNs,
+			BatchStepsPerSec:  float64(steps) * float64(width) / batch.Seconds(),
+			BatchSpeedup:      scalarNs / batchNs,
 		})
 	}
 	return out, nil

@@ -11,7 +11,7 @@ import (
 
 func TestRunEmitsValidReport(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-n", "16", "-draws", "200", "-steps", "500", "-reps", "1"}, &buf)
+	err := run([]string{"-n", "16", "-draws", "200", "-steps", "500", "-reps", "1", "-width", "2"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestRunEmitsValidReport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if rep.Host.GoVersion == "" || rep.Generated == "" {
+	if rep.Host == nil || rep.Host.GoVersion == "" || rep.Generated == "" {
 		t.Errorf("missing host/timestamp metadata: %+v", rep.Host)
 	}
 	// 5 schedulers x 2 impls at one n.
@@ -42,25 +42,105 @@ func TestRunEmitsValidReport(t *testing.T) {
 		t.Errorf("got %d sweep rows, want 2", len(rep.Sweep))
 	}
 	for _, s := range rep.Sweep {
-		if s.StepsPerSec <= 0 || s.NsPerStep <= 0 {
-			t.Errorf("%s n=%d: non-positive throughput %+v", s.Sched, s.N, s)
+		if s.ScalarStepsPerSec <= 0 || s.ScalarNsPerStep <= 0 {
+			t.Errorf("%s n=%d: non-positive scalar throughput %+v", s.Sched, s.N, s)
+		}
+		if s.BatchStepsPerSec <= 0 || s.BatchNsPerStep <= 0 {
+			t.Errorf("%s n=%d: non-positive batch throughput %+v", s.Sched, s.N, s)
+		}
+		if s.BatchWidth != 2 {
+			t.Errorf("%s n=%d: batch width %d, want 2", s.Sched, s.N, s.BatchWidth)
+		}
+		if s.BatchSpeedup <= 0 {
+			t.Errorf("%s n=%d: missing batch speedup", s.Sched, s.N)
 		}
 	}
 }
 
-func TestRunWritesOutFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "bench.json")
-	err := run([]string{"-n", "16", "-draws", "100", "-steps", "200", "-reps", "1", "-out", path}, os.Stdout)
+func TestRunWritesOutDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-n", "16", "-draws", "100", "-steps", "200", "-reps", "1", "-width", "2", "-outdir", dir}, os.Stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
+	for name, check := range map[string]func(Report) bool{
+		"BENCH_sched.json": func(r Report) bool { return len(r.Draw) > 0 && len(r.Sweep) == 0 },
+		"BENCH_sweep.json": func(r Report) bool { return len(r.Sweep) > 0 && len(r.Draw) == 0 },
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("invalid JSON in %s: %v", name, err)
+		}
+		if !check(rep) {
+			t.Errorf("%s holds the wrong sections: %+v", name, rep)
+		}
+		// Checked-in files must diff cleanly across machines.
+		if rep.Host != nil || rep.Generated != "" {
+			t.Errorf("%s keeps host/timestamp metadata", name)
+		}
+	}
+}
+
+func TestRunCheckGate(t *testing.T) {
+	dir := t.TempDir()
+	fast := filepath.Join(dir, "fast.json")
+	args := func(extra ...string) []string {
+		return append([]string{"-n", "16", "-draws", "100", "-steps", "200",
+			"-reps", "1", "-width", "2", "-outdir", dir}, extra...)
+	}
+	// Seed a baseline from a real run, then compare against it: the
+	// same grid within a generous tolerance must pass.
+	if err := run(append(args(), "-outdir", dir), os.Stdout); err != nil {
 		t.Fatal(err)
 	}
+	baseline := filepath.Join(dir, "BENCH_sweep.json")
+	if err := run(args("-check", baseline, "-tolerance", "1000"), os.Stdout); err != nil {
+		t.Errorf("generous tolerance failed the gate: %v", err)
+	}
+	// An impossibly fast baseline must trip it.
 	var rep Report
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := json.Unmarshal(data, &rep); err != nil {
-		t.Fatalf("invalid JSON in -out file: %v", err)
+		t.Fatal(err)
+	}
+	for i := range rep.Sweep {
+		rep.Sweep[i].ScalarNsPerStep = 1e-6
+		rep.Sweep[i].BatchNsPerStep = 1e-6
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fast, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(args("-check", fast), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("impossible baseline passed the gate: %v", err)
+	}
+	// A missing baseline is an error, not a silent pass.
+	if err := run(args("-check", filepath.Join(dir, "missing.json")), os.Stdout); err == nil {
+		t.Error("missing baseline passed the gate")
+	}
+	// Baseline rows for a different grid are ignored.
+	other := filepath.Join(dir, "other.json")
+	otherRep := Report{Sweep: []SweepResult{{Sched: "uniform", Workload: "scu", N: 9999, Steps: 200, ScalarNsPerStep: 1e-6}}}
+	enc, err = json.Marshal(otherRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("-check", other), os.Stdout); err != nil {
+		t.Errorf("unmatched baseline rows tripped the gate: %v", err)
 	}
 }
 
@@ -71,6 +151,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-n", "16", "-draws", "0"},
 		{"-n", "16", "-steps", "0"},
 		{"-n", "16", "-reps", "0"},
+		{"-n", "16", "-width", "0"},
+		{"-n", "16", "-tolerance", "-0.5"},
 		{"-n", "16", "-scheds", ""},
 		{"-n", "16", "-scheds", "bogus"},
 		{"-n", "16", "-scheds", "sticky:1.5"},
@@ -87,7 +169,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunSchedsFlagUsesSharedGrammar(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
-		"-n", "16", "-draws", "100", "-steps", "500", "-reps", "1",
+		"-n", "16", "-draws", "100", "-steps", "500", "-reps", "1", "-width", "2",
 		"-scheds", "sticky:0.5, lottery:" + strings.Repeat("1,", 15) + "2",
 	}, &buf)
 	if err != nil {

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"pwf/internal/rng"
+)
+
+// batchCase wires one scheduler kind's scalar and batched forms for
+// the replica-equivalence tests.
+type batchCase struct {
+	name    string
+	scalar  func(n int, seed uint64) (Scheduler, error)
+	batched func(n int, seeds []uint64) (BatchDrawer, error)
+}
+
+func batchCases() []batchCase {
+	weights := func(n int) []float64 {
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(i%5 + 1)
+		}
+		return ws
+	}
+	tickets := func(n int) []int {
+		ts := make([]int, n)
+		for i := range ts {
+			ts[i] = i%7 + 1
+		}
+		return ts
+	}
+	phases := func(n int) []Phase {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i + 1)
+			b[i] = float64(n - i)
+		}
+		return []Phase{{Weights: a, Steps: 13}, {Weights: b, Steps: 7}}
+	}
+	return []batchCase{
+		{
+			"uniform",
+			func(n int, seed uint64) (Scheduler, error) { return NewUniform(n, rng.New(seed)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewUniformBatch(n, seeds) },
+		},
+		{
+			"sticky",
+			func(n int, seed uint64) (Scheduler, error) { return NewSticky(n, 0.7, rng.New(seed)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewStickyBatch(n, 0.7, seeds) },
+		},
+		{
+			"weighted",
+			func(n int, seed uint64) (Scheduler, error) { return NewWeighted(weights(n), rng.New(seed)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewWeightedBatch(weights(n), seeds) },
+		},
+		{
+			"lottery",
+			func(n int, seed uint64) (Scheduler, error) { return NewLottery(tickets(n), rng.New(seed)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewLotteryBatch(tickets(n), seeds) },
+		},
+		{
+			"phased",
+			func(n int, seed uint64) (Scheduler, error) { return NewPhased(n, phases(n), rng.New(seed)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewPhasedBatch(n, phases(n), seeds) },
+		},
+		{
+			"roundrobin",
+			func(n int, seed uint64) (Scheduler, error) { return NewRoundRobin(n) },
+			func(n int, seeds []uint64) (BatchDrawer, error) { return NewRoundRobinBatch(n, len(seeds)) },
+		},
+		{
+			"adversary",
+			func(n int, seed uint64) (Scheduler, error) { return NewAdversarial(n, SingleOut(1)) },
+			func(n int, seeds []uint64) (BatchDrawer, error) {
+				return NewAdversarialBatch(n, len(seeds), SingleOut(1))
+			},
+		},
+	}
+}
+
+// TestBatchDrawerMatchesScalar is the batch layer's determinism
+// contract: replica r of a batch drawer built from seeds[r] yields
+// exactly the pid sequence of the scalar scheduler built with
+// rng.New(seeds[r]) — with and without pre-run crashes.
+func TestBatchDrawerMatchesScalar(t *testing.T) {
+	const (
+		n     = 23
+		k     = 5
+		steps = 4000
+	)
+	seeds := make([]uint64, k)
+	for r := range seeds {
+		seeds[r] = uint64(1000 + 77*r)
+	}
+	for _, tc := range batchCases() {
+		for _, crashes := range []int{0, 3} {
+			t.Run(fmt.Sprintf("%s/crash=%d", tc.name, crashes), func(t *testing.T) {
+				batched, err := tc.batched(n, seeds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalars := make([]Scheduler, k)
+				for r := range scalars {
+					if scalars[r], err = tc.scalar(n, seeds[r]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for pid := n - crashes; pid < n; pid++ {
+					if bc, ok := batched.(BatchCrasher); ok {
+						if err := bc.Crash(pid); err != nil {
+							t.Fatal(err)
+						}
+					} else if crashes > 0 {
+						t.Skipf("%s does not support crashes", tc.name)
+					}
+					for r := range scalars {
+						if c, ok := scalars[r].(Crasher); ok {
+							if err := c.Crash(pid); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				}
+				if got, want := batched.Threshold(), scalars[0].Threshold(); got != want {
+					t.Fatalf("Threshold = %v, scalar %v", got, want)
+				}
+				if batched.K() != k || batched.N() != n {
+					t.Fatalf("K/N = %d/%d, want %d/%d", batched.K(), batched.N(), k, n)
+				}
+				pids := make([]int32, k)
+				for step := 0; step < steps; step++ {
+					if err := batched.NextBatch(pids); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					for r := range scalars {
+						want, err := scalars[r].Next()
+						if err != nil {
+							t.Fatalf("scalar step %d replica %d: %v", step, r, err)
+						}
+						if int(pids[r]) != want {
+							t.Fatalf("step %d replica %d: batched pid %d, scalar %d",
+								step, r, pids[r], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchDrawerErrors exercises the constructor and draw edges.
+func TestBatchDrawerErrors(t *testing.T) {
+	if _, err := NewUniformBatch(0, []uint64{1}); err == nil {
+		t.Error("NewUniformBatch(0, ...) succeeded")
+	}
+	if _, err := NewUniformBatch(4, nil); err == nil {
+		t.Error("NewUniformBatch with no seeds succeeded")
+	}
+	if _, err := NewStickyBatch(4, 1.5, []uint64{1}); err == nil {
+		t.Error("NewStickyBatch with rho 1.5 succeeded")
+	}
+	if _, err := NewLotteryBatch([]int{1, 0}, []uint64{1}); err == nil {
+		t.Error("NewLotteryBatch with zero ticket succeeded")
+	}
+	if _, err := NewWeightedBatch([]float64{1, -1}, []uint64{1}); err == nil {
+		t.Error("NewWeightedBatch with negative weight succeeded")
+	}
+	if _, err := NewAdversarialBatch(4, 2, nil); err == nil {
+		t.Error("NewAdversarialBatch with nil strategy succeeded")
+	}
+	u, err := NewUniformBatch(4, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.NextBatch(make([]int32, 3)); err != ErrBatchLen {
+		t.Errorf("NextBatch with wrong buffer length: %v, want ErrBatchLen", err)
+	}
+}

@@ -1,0 +1,190 @@
+package scu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pwf/internal/machine"
+	"pwf/internal/rng"
+	"pwf/internal/sched"
+	"pwf/internal/shmem"
+)
+
+// groupCase wires one workload's scalar and batched forms.
+type groupCase struct {
+	name   string
+	layout int
+	scalar func(n int) ([]machine.Process, error)
+	batch  func(k, n int) (machine.BatchGroup, error)
+}
+
+func groupCases() []groupCase {
+	return []groupCase{
+		{
+			"scu-q0-s1", SCULayout(1),
+			func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 0, 1, 0) },
+			func(k, n int) (machine.BatchGroup, error) { return NewSCUBatch(k, n, 0, 1) },
+		},
+		{
+			"scu-q2-s3", SCULayout(3),
+			func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 2, 3, 0) },
+			func(k, n int) (machine.BatchGroup, error) { return NewSCUBatch(k, n, 2, 3) },
+		},
+		{
+			"parallel-q4", 1,
+			func(n int) ([]machine.Process, error) { return NewParallelGroup(n, 4, 0) },
+			func(k, n int) (machine.BatchGroup, error) { return NewParallelBatch(k, n, 4) },
+		},
+		{
+			"fetchinc", FetchIncLayout,
+			func(n int) ([]machine.Process, error) { return NewFetchIncGroup(n, 0) },
+			func(k, n int) (machine.BatchGroup, error) { return NewFetchIncBatch(k, n) },
+		},
+	}
+}
+
+// TestBatchSimMatchesScalarSims runs a BatchSim (uniform batch drawer
+// + batch group) against K scalar Sims built from the same seeds and
+// demands bit-identical metrics for every replica — including across
+// a mid-run ResetMetrics, mirroring the warmup flow of sweep.measure.
+func TestBatchSimMatchesScalarSims(t *testing.T) {
+	const (
+		n      = 17
+		k      = 4
+		warmup = 500
+		steps  = 5000
+	)
+	seeds := make([]uint64, k)
+	for r := range seeds {
+		seeds[r] = uint64(42 + 13*r)
+	}
+	for _, tc := range groupCases() {
+		for _, crashes := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/crash=%d", tc.name, crashes), func(t *testing.T) {
+				group, err := tc.batch(k, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drawer, err := sched.NewUniformBatch(n, seeds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sims := make([]*machine.Sim, k)
+				schs := make([]sched.Scheduler, k)
+				for r := 0; r < k; r++ {
+					procs, err := tc.scalar(n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mem, err := shmem.New(tc.layout)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if schs[r], err = sched.NewUniform(n, rng.New(seeds[r])); err != nil {
+						t.Fatal(err)
+					}
+					if sims[r], err = machine.New(mem, procs, schs[r]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var bc sched.BatchCrasher = drawer
+				for pid := n - crashes; pid < n; pid++ {
+					if err := bc.Crash(pid); err != nil {
+						t.Fatal(err)
+					}
+					for r := 0; r < k; r++ {
+						if err := schs[r].(sched.Crasher).Crash(pid); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				bs, err := machine.NewBatchSim(group, drawer)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(count uint64) {
+					if err := bs.Run(count); err != nil {
+						t.Fatal(err)
+					}
+					for r := 0; r < k; r++ {
+						if err := sims[r].Run(count); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				run(warmup)
+				bs.ResetMetrics()
+				for r := 0; r < k; r++ {
+					sims[r].ResetMetrics()
+				}
+				run(steps)
+
+				for r := 0; r < k; r++ {
+					compareReplica(t, bs, sims[r], r)
+				}
+			})
+		}
+	}
+}
+
+// compareReplica checks every metric accessor of replica r of bs
+// against the scalar sim, bit-exactly.
+func compareReplica(t *testing.T, bs *machine.BatchSim, s *machine.Sim, r int) {
+	t.Helper()
+	bSys, bErr := bs.SystemLatency(r)
+	sSys, sErr := s.SystemLatency()
+	if bSys != sSys || (bErr == nil) != (sErr == nil) {
+		t.Errorf("replica %d: SystemLatency = %v/%v, scalar %v/%v", r, bSys, bErr, sSys, sErr)
+	}
+	bInd, bErr := bs.MeanIndividualLatency(r)
+	sInd, sErr := s.MeanIndividualLatency()
+	if bInd != sInd || (bErr == nil) != (sErr == nil) {
+		t.Errorf("replica %d: MeanIndividualLatency = %v/%v, scalar %v/%v", r, bInd, bErr, sInd, sErr)
+	}
+	if got, want := bs.CompletionRate(r), s.CompletionRate(); got != want {
+		t.Errorf("replica %d: CompletionRate = %v, scalar %v", r, got, want)
+	}
+	bFair, sFair := bs.FairnessIndex(r), s.FairnessIndex()
+	if bFair != sFair && !(bFair != bFair && sFair != sFair) { // NaN-tolerant
+		t.Errorf("replica %d: FairnessIndex = %v, scalar %v", r, bFair, sFair)
+	}
+	if got, want := bs.TotalCompletions(r), s.TotalCompletions(); got != want {
+		t.Errorf("replica %d: TotalCompletions = %d, scalar %d", r, got, want)
+	}
+	bComp, sComp := bs.Completions(r), s.Completions()
+	for pid := range sComp {
+		if bComp[pid] != sComp[pid] {
+			t.Errorf("replica %d: Completions[%d] = %d, scalar %d", r, pid, bComp[pid], sComp[pid])
+		}
+	}
+	bStarved, sStarved := bs.StarvedProcesses(r), s.StarvedProcesses()
+	if len(bStarved) != len(sStarved) {
+		t.Errorf("replica %d: %d starved, scalar %d", r, len(bStarved), len(sStarved))
+	} else {
+		for i := range sStarved {
+			if bStarved[i] != sStarved[i] {
+				t.Errorf("replica %d: starved[%d] = %d, scalar %d", r, i, bStarved[i], sStarved[i])
+			}
+		}
+	}
+}
+
+// TestBatchGroupErrors exercises the constructor edges.
+func TestBatchGroupErrors(t *testing.T) {
+	for _, fn := range []func() error{
+		func() error { _, err := NewSCUBatch(0, 4, 0, 1); return err },
+		func() error { _, err := NewSCUBatch(2, 0, 0, 1); return err },
+		func() error { _, err := NewSCUBatch(2, 4, -1, 1); return err },
+		func() error { _, err := NewSCUBatch(2, 4, 0, 0); return err },
+		func() error { _, err := NewParallelBatch(2, 4, 0); return err },
+		func() error { _, err := NewParallelBatch(0, 4, 1); return err },
+		func() error { _, err := NewFetchIncBatch(0, 4); return err },
+		func() error { _, err := NewFetchIncBatch(2, 0); return err },
+	} {
+		if err := fn(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("constructor edge: err = %v, want ErrBadParams", err)
+		}
+	}
+}

@@ -24,8 +24,14 @@
 //
 // Execution batches compatible jobs: every accepted sweep runs with
 // sweep.Config.BatchFamilies so same-family jobs dispatch adjacently
-// and share ChainCache entries — a pure execution-order optimization
-// that provably cannot change result bytes.
+// and share ChainCache entries, and with sweep.Config.ReplicaBatch so
+// same-shape jobs step together in one struct-of-arrays simulator —
+// pure execution optimizations that provably cannot change result
+// bytes.
+//
+// The result store is bounded: finished sweeps are evicted after
+// Config.Retention (default 1 hour); evictions are visible in
+// /metrics as server_sweeps_evicted.
 package server
 
 import (
@@ -61,6 +67,14 @@ type Config struct {
 	// RetryAfter is the backoff advertised on 429 responses (header
 	// and api.Error.RetryAfterSec). Default 1s.
 	RetryAfter time.Duration
+	// Retention bounds how long finished (done or failed) sweeps stay
+	// queryable: a janitor evicts them from the in-memory store once
+	// they have been finished for longer than this window, so a
+	// long-running daemon's memory is bounded by its traffic rate
+	// rather than its lifetime. 0 selects the default (1 hour);
+	// negative disables eviction (the pre-retention behavior).
+	// Evictions are counted by the server_sweeps_evicted metric.
+	Retention time.Duration
 	// Registry receives the server's metrics; nil creates a private
 	// registry (exposed at /metrics either way).
 	Registry *obs.Registry
@@ -79,6 +93,13 @@ const (
 	defaultMaxQueuedJobs = 16384
 	defaultMaxBodyBytes  = 8 << 20
 	defaultRetryAfter    = time.Second
+	defaultRetention     = time.Hour
+
+	// replicaBatchWidth is the replica-batch width sweeps execute
+	// with. Wire grids routinely repeat one shape across many seeds;
+	// the batched core runs up to this many same-shape jobs per
+	// simulator loop with byte-identical results.
+	replicaBatchWidth = 16
 )
 
 // sweepStatus is the lifecycle of one accepted sweep.
@@ -100,13 +121,14 @@ type sweepState struct {
 	id   string
 	grid api.Grid
 
-	mu        sync.Mutex
-	status    sweepStatus
-	lines     [][]byte // canonical NDJSON line per job index
-	watermark int      // lines[:watermark] are present and streamable
-	done      int      // completed jobs (any order)
-	failure   *api.Error
-	wake      chan struct{} // closed and replaced on every change
+	mu         sync.Mutex
+	status     sweepStatus
+	lines      [][]byte // canonical NDJSON line per job index
+	watermark  int      // lines[:watermark] are present and streamable
+	done       int      // completed jobs (any order)
+	failure    *api.Error
+	finishedAt time.Time     // when status became done/failed; zero before
+	wake       chan struct{} // closed and replaced on every change
 }
 
 // snapshot returns the fields status responses need, consistently.
@@ -139,6 +161,7 @@ type Server struct {
 	gate chan struct{}
 
 	mSweepsAccepted   *obs.Counter
+	mSweepsEvicted    *obs.Counter
 	mRejectedOverload *obs.Counter
 	mRejectedInvalid  *obs.Counter
 	mRejectedTooLarge *obs.Counter
@@ -164,6 +187,9 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = defaultRetryAfter
 	}
+	if cfg.Retention == 0 {
+		cfg.Retention = defaultRetention
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -187,6 +213,7 @@ func New(cfg Config) *Server {
 		queue: make(chan *sweepState, cfg.MaxQueuedJobs),
 
 		mSweepsAccepted:   reg.Counter("server_sweeps_accepted"),
+		mSweepsEvicted:    reg.Counter("server_sweeps_evicted"),
 		mRejectedOverload: reg.Counter("server_sweeps_rejected_overload"),
 		mRejectedInvalid:  reg.Counter("server_sweeps_rejected_invalid"),
 		mRejectedTooLarge: reg.Counter("server_sweeps_rejected_too_large"),
@@ -233,7 +260,56 @@ func New(cfg Config) *Server {
 
 	s.wg.Add(1)
 	go s.executor()
+	if cfg.Retention > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor periodically evicts finished sweeps older than the
+// retention window. Open result streams keep their *sweepState and
+// drain unaffected; only new lookups of the id see 404.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := s.cfg.Retention / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			s.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired removes every sweep finished before now-Retention.
+func (s *Server) evictExpired(now time.Time) {
+	cutoff := now.Add(-s.cfg.Retention)
+	s.mu.Lock()
+	var evicted uint64
+	for id, st := range s.sweeps {
+		st.mu.Lock()
+		expired := (st.status == statusDone || st.status == statusFailed) &&
+			!st.finishedAt.IsZero() && st.finishedAt.Before(cutoff)
+		st.mu.Unlock()
+		if expired {
+			delete(s.sweeps, id)
+			evicted++
+		}
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.mSweepsEvicted.Add(evicted)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -346,15 +422,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // distinctFamilies counts the batchable families of a grid — jobs
-// agreeing on workload parameters, scheduler kind, and exactness. The
-// difference against len(jobs) is the coalescing opportunity the
-// batching dispatcher exploits.
+// agreeing on the full workload and scheduler parameterization (not
+// just the kinds: different weight vectors are different families),
+// the process and crash counts, and exactness, matching the sweep
+// dispatcher's family key. The difference against len(jobs) is the
+// coalescing opportunity the batching dispatcher exploits.
 func distinctFamilies(jobs []api.Job) int {
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
-		seen[fmt.Sprintf("%s|q%d|s%d|w%d|x%t|%s",
+		seen[fmt.Sprintf("%s|q%d|s%d|w%d|p%d|n%d|c%d|x%t|%s",
 			j.Workload.Kind, j.Workload.Q, j.Workload.S, j.Workload.WaitFactor,
-			j.Exact, j.Sched.Kind)] = true
+			j.Workload.PoolSize, j.N, j.Crash, j.Exact, j.Sched)] = true
 	}
 	return len(seen)
 }
@@ -513,6 +591,7 @@ func (s *Server) fail(st *sweepState, e api.Error) {
 	st.mu.Lock()
 	st.status = statusFailed
 	st.failure = &e
+	st.finishedAt = time.Now()
 	remaining := len(st.grid.Jobs) - st.done
 	close(st.wake)
 	st.wake = make(chan struct{})
@@ -537,6 +616,7 @@ func (s *Server) execute(st *sweepState) {
 		Workers:       s.cfg.Workers,
 		Cache:         s.cache,
 		BatchFamilies: true,
+		ReplicaBatch:  replicaBatchWidth,
 		Context:       s.ctx,
 		OnResult: func(r sweep.Result) {
 			line, mErr := api.MarshalResult(api.ResultFromSweep(r))
@@ -566,6 +646,7 @@ func (s *Server) execute(st *sweepState) {
 	}
 	st.mu.Lock()
 	st.status = statusDone
+	st.finishedAt = time.Now()
 	close(st.wake)
 	st.wake = make(chan struct{})
 	st.mu.Unlock()

@@ -503,13 +503,16 @@ func TestMetricsSurface(t *testing.T) {
 }
 
 // Family batching advertises its coalescing: a grid of same-family
-// jobs counts len(jobs)-1 coalesced dispatches.
+// jobs counts len(jobs)-1 coalesced dispatches. Families are keyed on
+// the full job shape — jobs differing in N (or weights, or crash
+// plans) are distinct families, only presentation fields coalesce.
 func TestCoalescingCounter(t *testing.T) {
 	reg := obs.NewRegistry()
 	_, ts := startServer(t, Config{Registry: reg})
 	g := api.Grid{V: api.Version, Seed: 3, Jobs: []api.Job{
-		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 2, Steps: 200},
-		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 200},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 200, Label: "a"},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 200, Label: "b"},
+		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 3, Steps: 200, Label: "c"},
 		{Workload: api.Workload{Kind: sweep.FetchInc}, N: 4, Steps: 200},
 	}}
 	id, _ := submit(t, ts, g)
@@ -526,6 +529,92 @@ func TestCoalescingCounter(t *testing.T) {
 		t.Errorf("batched sweep bytes differ from local run:\n got: %s\nwant: %s", got, want)
 	}
 	if c := reg.Snapshot().Counters["server_jobs_coalesced"]; c != 2 {
-		t.Errorf("jobs coalesced = %d, want 2 (3 jobs, 1 family)", c)
+		t.Errorf("jobs coalesced = %d, want 2 (4 jobs, 2 families)", c)
 	}
+}
+
+// A replica-heavy grid — one shape repeated across many jobs, the
+// sweep the batched simulator core coalesces — still streams bytes
+// identical to the scalar local run.
+func TestReplicaHeavyGridMatchesLocalRun(t *testing.T) {
+	jobs := make([]api.Job, 24)
+	for i := range jobs {
+		jobs[i] = api.Job{Workload: api.Workload{Kind: sweep.SCU, S: 1}, N: 5, Steps: 2000}
+	}
+	g := api.Grid{V: api.Version, Seed: 41, Jobs: jobs}
+	_, ts := startServer(t, Config{Workers: 2})
+	id, _ := submit(t, ts, g)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localLines(t, g); !bytes.Equal(got, want) {
+		t.Errorf("replica-batched sweep bytes differ from scalar local run:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// Finished sweeps are evicted after the retention window: the id
+// 404s, the store shrinks, and the eviction is counted in /metrics.
+func TestRetentionEvictsFinishedSweeps(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := startServer(t, Config{Retention: 50 * time.Millisecond, Registry: reg})
+	g := testGrid()
+	id, _ := submit(t, ts, g)
+
+	// Drain the stream so the sweep finishes.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s still queryable long past the retention window", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.mu.Lock()
+	stored := len(s.sweeps)
+	s.mu.Unlock()
+	if stored != 0 {
+		t.Errorf("%d sweeps still stored after eviction", stored)
+	}
+	if c := reg.Snapshot().Counters["server_sweeps_evicted"]; c != 1 {
+		t.Errorf("server_sweeps_evicted = %d, want 1", c)
+	}
+
+	// A running (unfinished) sweep must never be evicted: hold the
+	// executor at the gate so the sweep stays queued past the window.
+	gate := make(chan struct{})
+	reg2 := obs.NewRegistry()
+	s2, ts2 := startServer(t, Config{Retention: 30 * time.Millisecond, Registry: reg2, gate: gate})
+	id2, _ := submit(t, ts2, g)
+	time.Sleep(150 * time.Millisecond) // several retention windows
+	s2.mu.Lock()
+	_, present := s2.sweeps[id2]
+	s2.mu.Unlock()
+	if !present {
+		t.Error("queued sweep was evicted before finishing")
+	}
+	close(gate)
 }

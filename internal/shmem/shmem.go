@@ -174,12 +174,21 @@ func (m *Memory) Counters() Counters { return m.counters }
 func (m *Memory) Steps() uint64 { return m.counters.Total() }
 
 // EnableTrace starts recording up to limit operations (0 disables).
-// Operations beyond the limit are counted but not recorded.
+// Operations beyond the limit are counted but not recorded. The
+// buffer is sized to the limit: re-enabling with a smaller limit
+// releases the old backing array rather than keeping the largest one
+// ever requested alive for the memory's lifetime (which matters once
+// replica batching pools thousands of Memory values), and disabling
+// drops it entirely.
 func (m *Memory) EnableTrace(limit int) {
 	m.traceLimit = limit
-	if limit > 0 && cap(m.trace) < limit {
+	switch {
+	case limit <= 0:
+		m.traceLimit = 0
+		m.trace = nil
+	case cap(m.trace) != limit:
 		m.trace = make([]Op, 0, limit)
-	} else {
+	default:
 		m.trace = m.trace[:0]
 	}
 }

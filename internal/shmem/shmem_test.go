@@ -176,6 +176,46 @@ func TestTraceCopied(t *testing.T) {
 	}
 }
 
+func TestEnableTraceReleasesOversizedBuffer(t *testing.T) {
+	m := mustNew(t, 1)
+	m.EnableTrace(1 << 16)
+	for i := 0; i < 100; i++ {
+		m.Read(0)
+	}
+
+	// Re-enabling with a smaller limit must not keep the 64K-entry
+	// backing array alive.
+	m.EnableTrace(4)
+	if got := cap(m.trace); got != 4 {
+		t.Errorf("trace capacity after shrinking re-enable = %d, want 4", got)
+	}
+	for i := 0; i < 10; i++ {
+		m.Read(0)
+	}
+	if got := len(m.Trace()); got != 4 {
+		t.Errorf("trace length %d, want 4", got)
+	}
+
+	// Disabling drops the buffer entirely.
+	m.EnableTrace(0)
+	if m.trace != nil {
+		t.Errorf("trace buffer retained after disable (cap %d)", cap(m.trace))
+	}
+	m.Read(0)
+	if len(m.Trace()) != 0 {
+		t.Error("trace recorded while disabled")
+	}
+
+	// Same-limit re-enable reuses the buffer (the hot replay path).
+	m.EnableTrace(8)
+	m.Read(0)
+	buf := m.trace
+	m.EnableTrace(8)
+	if cap(m.trace) != cap(buf) || len(m.Trace()) != 0 {
+		t.Error("same-limit re-enable should reset, not reallocate")
+	}
+}
+
 func TestOpKindString(t *testing.T) {
 	tests := []struct {
 		kind OpKind

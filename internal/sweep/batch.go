@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pwf/internal/machine"
+	"pwf/internal/sched"
+	"pwf/internal/scu"
+)
+
+// errNoBatchForm reports a job shape without a struct-of-arrays
+// implementation; the caller falls back to scalar execution.
+var errNoBatchForm = errors.New("sweep: no batched form for this job shape")
+
+// batchable reports whether a point can run on the replica-batched
+// path: the workload has a struct-of-arrays form and nothing wants to
+// observe individual steps or completions.
+func batchable(cfg Config, job Job) bool {
+	switch job.Workload.Kind {
+	case SCU, Parallel, FetchInc:
+	default:
+		return false
+	}
+	return job.CompletionHook == nil && job.Recorder == nil && cfg.Recorder == nil
+}
+
+// buildBatchDrawer constructs the batched scheduler for n processes
+// and one rng stream per replica, mirroring SchedulerSpec.build.
+func buildBatchDrawer(s SchedulerSpec, n int, seeds []uint64) (sched.BatchDrawer, error) {
+	switch s.Kind {
+	case "", SchedUniform:
+		return sched.NewUniformBatch(n, seeds)
+	case SchedRoundRobin:
+		return sched.NewRoundRobinBatch(n, len(seeds))
+	case SchedSticky:
+		return sched.NewStickyBatch(n, s.Rho, seeds)
+	case SchedLottery:
+		tickets := s.Tickets
+		if tickets == nil {
+			tickets = make([]int, n)
+			for i := range tickets {
+				tickets[i] = 1
+			}
+		}
+		return sched.NewLotteryBatch(tickets, seeds)
+	case SchedWeighted:
+		weights := s.Weights
+		if weights == nil {
+			weights = make([]float64, n)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		return sched.NewWeightedBatch(weights, seeds)
+	case SchedPhased:
+		phases := make([]sched.Phase, len(s.Phases))
+		for i, ph := range s.Phases {
+			phases[i] = sched.Phase{Weights: ph.Weights, Steps: ph.Steps}
+		}
+		return sched.NewPhasedBatch(n, phases, seeds)
+	case SchedAdversary:
+		return sched.NewAdversarialBatch(n, len(seeds), sched.SingleOut(s.Victim))
+	default:
+		return nil, fmt.Errorf("sweep: unknown scheduler kind %q", s.Kind)
+	}
+}
+
+// buildBatchGroup constructs the struct-of-arrays process group for k
+// replicas of the workload, mirroring Workload.build for the kinds
+// that have batched forms.
+func buildBatchGroup(w Workload, k, n int) (machine.BatchGroup, error) {
+	switch w.Kind {
+	case SCU:
+		return scu.NewSCUBatch(k, n, w.Q, w.S)
+	case Parallel:
+		return scu.NewParallelBatch(k, n, w.Q)
+	case FetchInc:
+		return scu.NewFetchIncBatch(k, n)
+	default:
+		return nil, fmt.Errorf("%w: workload %q", errNoBatchForm, w.Kind)
+	}
+}
+
+// runJobBatch executes len(seeds) same-shape points (jobs[r] differs
+// from jobs[0] at most in Label) in one lockstep BatchSim. It returns
+// one Result and one error slot per replica; the third return value
+// is a batch-level construction failure, after which nothing ran and
+// the caller should fall back to per-point scalar execution.
+//
+// Replica r evolves exactly as RunJob(jobs[r], seeds[r], cache): the
+// scheduler draws replica r's stream through the same sampling
+// structures, the workload transitions through the same states, and
+// the metric accumulators update in the same order — so each Result
+// is byte-identical to the scalar path's, except Elapsed (wall time,
+// never deterministic), which reports the per-replica share of the
+// batch.
+func runJobBatch(jobs []Job, seeds []uint64, cache *ChainCache) ([]Result, []error, error) {
+	if len(jobs) == 0 || len(jobs) != len(seeds) {
+		return nil, nil, fmt.Errorf("sweep: batch of %d jobs with %d seeds", len(jobs), len(seeds))
+	}
+	job := jobs[0]
+	if err := job.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cache == nil {
+		cache = DefaultCache
+	}
+	k := len(seeds)
+	began := time.Now()
+
+	drawer, err := buildBatchDrawer(job.Sched, job.N, seeds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if job.Crash > 0 {
+		crasher, ok := drawer.(sched.BatchCrasher)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: scheduler %q does not support crashes", errNoBatchForm, job.Sched)
+		}
+		for pid := job.N - job.Crash; pid < job.N; pid++ {
+			if err := crasher.Crash(pid); err != nil {
+				return nil, nil, fmt.Errorf("sweep: crash process %d: %w", pid, err)
+			}
+		}
+	}
+	group, err := buildBatchGroup(job.Workload, k, job.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := machine.NewBatchSim(group, drawer)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if warmup := uint64(job.WarmupFraction * float64(job.Steps)); warmup > 0 {
+		if err := sim.Run(warmup); err != nil {
+			return nil, nil, err
+		}
+	}
+	sim.ResetMetrics()
+	if err := sim.Run(job.Steps); err != nil {
+		return nil, nil, err
+	}
+
+	var exact float64
+	exactOK := false
+	if job.Exact {
+		exact, exactOK = exactLatency(job, cache)
+	}
+	share := time.Since(began) / time.Duration(k)
+	results := make([]Result, k)
+	perr := make([]error, k)
+	for r := 0; r < k; r++ {
+		res := Result{
+			Label: jobs[r].Label,
+			Job:   jobs[r],
+			Seed:  seeds[r],
+			Theta: drawer.Threshold(),
+		}
+		var lat Latencies
+		if lat.System, err = sim.SystemLatency(r); err != nil {
+			perr[r] = err
+			continue
+		}
+		if lat.Individual, err = sim.MeanIndividualLatency(r); err != nil {
+			perr[r] = err
+			continue
+		}
+		lat.CompletionRate = sim.CompletionRate(r)
+		lat.Fairness = sim.FairnessIndex(r)
+		lat.Completions = sim.TotalCompletions(r)
+		res.Latencies = lat
+		res.ProcCompletions = sim.Completions(r)
+		res.Starved = sim.StarvedProcesses(r)
+		if job.Exact {
+			res.Exact, res.ExactOK = exact, exactOK
+		}
+		res.Elapsed = share
+		results[r] = res
+	}
+	return results, perr, nil
+}

@@ -47,34 +47,72 @@ func BenchmarkSweepSCU16Parallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROC
 // steps/sec column should be flat in n instead of collapsing as
 // O(1/n). Uniform exercises the dense active set (with a crashed
 // process so the crash-mode path is measured); lottery exercises the
-// Fenwick tree. cmd/pwfbench records the same measurement into
-// BENCH_sched.json.
+// Fenwick tree. The scalar variant runs one replica per RunJob call;
+// the batch variant runs replicaBenchWidth same-shape replicas
+// through the struct-of-arrays core and must come out at least 2x
+// faster per step at n=1024. cmd/pwfbench records the same
+// measurement into BENCH_sweep.json.
 func BenchmarkSweepSteps(b *testing.B) {
 	for _, spec := range []SchedulerSpec{
 		{Kind: SchedUniform},
 		{Kind: SchedLottery},
 	} {
 		for _, n := range []int{16, 256, 1024, 4096} {
-			b.Run(fmt.Sprintf("%s/n=%d", spec.Kind, n), func(b *testing.B) {
-				const stepsPerJob = 100000
-				job := Job{
-					Workload: Workload{Kind: SCU, S: 1},
-					N:        n,
-					Sched:    spec,
-					Steps:    stepsPerJob,
-					Crash:    1,
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := RunJob(job, 1, nil); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.StopTimer()
-				stepsPerSec := float64(b.N) * stepsPerJob / b.Elapsed().Seconds()
-				b.ReportMetric(stepsPerSec, "steps/sec")
-				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e9/stepsPerJob, "ns/step")
+			job := Job{
+				Workload: Workload{Kind: SCU, S: 1},
+				N:        n,
+				Sched:    spec,
+				Steps:    benchStepsPerJob,
+				Crash:    1,
+			}
+			b.Run(fmt.Sprintf("%s/n=%d/scalar", spec.Kind, n), func(b *testing.B) {
+				benchSweepStepsScalar(b, job)
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/batch", spec.Kind, n), func(b *testing.B) {
+				benchSweepStepsBatch(b, job)
 			})
 		}
 	}
+}
+
+const (
+	benchStepsPerJob = 100000
+	// replicaBenchWidth matches the width the serving layer uses, so
+	// the checked-in BENCH_sweep.json speedups describe production
+	// batches.
+	replicaBenchWidth = 16
+)
+
+func benchSweepStepsScalar(b *testing.B, job Job) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunJob(job, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSteps(b, float64(b.N)*benchStepsPerJob)
+}
+
+func benchSweepStepsBatch(b *testing.B, job Job) {
+	job.Replicas = replicaBenchWidth
+	cfg := Config{
+		Jobs:         []Job{job},
+		Seed:         1,
+		Workers:      1,
+		ReplicaBatch: replicaBenchWidth,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSteps(b, float64(b.N)*benchStepsPerJob*replicaBenchWidth)
+}
+
+func reportSteps(b *testing.B, totalSteps float64) {
+	b.ReportMetric(totalSteps/b.Elapsed().Seconds(), "steps/sec")
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/totalSteps, "ns/step")
 }

@@ -79,7 +79,10 @@ func TestSweepBatchFamiliesPreservesResults(t *testing.T) {
 
 func TestDispatchOrderGroupsFamilies(t *testing.T) {
 	cfg := Config{Jobs: smallGrid(), BatchFamilies: true}
-	order := dispatchOrder(cfg)
+	var order []int
+	for _, grp := range dispatchGroups(cfg, expandPoints(cfg)) {
+		order = append(order, grp...)
+	}
 	if len(order) != len(cfg.Jobs) {
 		t.Fatalf("order has %d entries for %d jobs", len(order), len(cfg.Jobs))
 	}

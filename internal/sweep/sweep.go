@@ -69,6 +69,15 @@ type Job struct {
 	// simulation, where a chain family exists (SCU, FetchInc,
 	// Parallel) and is tractable.
 	Exact bool `json:"exact,omitempty"`
+	// Replicas expands the job into a seed group: the sweep runs
+	// Replicas points of this exact shape (0 and 1 both mean one
+	// point), each with its own derived seed and its own Result.
+	// Expansion happens before seed derivation, so a job with
+	// Replicas = r occupies r consecutive point indices and shifts
+	// the seeds of all later jobs; it is part of the grid's identity,
+	// not an execution hint. Same-shape points coalesce into replica
+	// batches when Config.ReplicaBatch allows.
+	Replicas int `json:"replicas,omitempty"`
 	// Label is carried through to the result for presentation.
 	Label string `json:"label,omitempty"`
 
@@ -107,6 +116,9 @@ func (j Job) Validate() error {
 	}
 	if j.Crash < 0 || j.Crash >= j.N {
 		return fmt.Errorf("sweep: cannot crash %d of %d processes", j.Crash, j.N)
+	}
+	if j.Replicas < 0 {
+		return fmt.Errorf("sweep: negative replica count %d", j.Replicas)
 	}
 	return nil
 }
@@ -157,12 +169,23 @@ type Config struct {
 	// lie in [0, 1).
 	Warmup *float64
 	// BatchFamilies reorders job *execution* (never results or seeds)
-	// so jobs of the same family — workload kind and parameters,
-	// scheduler kind, exactness — run adjacently: compatible jobs
-	// share ChainCache entries and hot code paths. Because job i
-	// always draws from rng.Stream(Seed, i), results are byte-
-	// identical with batching on or off.
+	// so jobs of the same family — workload parameters, process and
+	// crash counts, full scheduler spec, exactness — run adjacently:
+	// compatible jobs share ChainCache entries and hot code paths.
+	// Because job i always draws from rng.Stream(Seed, i), results
+	// are byte-identical with batching on or off.
 	BatchFamilies bool
+	// ReplicaBatch enables the replica-batched simulator core: up to
+	// ReplicaBatch same-shape points (identical job apart from Label,
+	// adjacent after family ordering, which ReplicaBatch implies)
+	// execute together in one struct-of-arrays BatchSim, one
+	// scheduler draw table and one workload state block stepping all
+	// replicas per loop iteration. 0 and 1 select the scalar path.
+	// Every point still draws from rng.Stream(Seed, i) and batched
+	// results are byte-identical to the scalar path; shapes without a
+	// batched form (data-structure workloads, per-job hooks or
+	// recorders) fall back to scalar execution transparently.
+	ReplicaBatch int
 	// Progress, when non-nil, is called after each job completes with
 	// the number of completed jobs and the total. Calls are serialized
 	// but may come from any worker, in completion order.
@@ -194,30 +217,119 @@ func (cfg *Config) job(i int) Job {
 	return job
 }
 
-// dispatchOrder returns the order jobs are handed to workers. With
-// BatchFamilies it groups same-family jobs adjacently (stable within
-// a family, so relative input order is kept); otherwise input order.
-func dispatchOrder(cfg Config) []int {
-	order := make([]int, len(cfg.Jobs))
+// expandPoints flattens the grid into points: job i with overrides
+// applied, repeated max(1, Replicas) times. Point p draws its seed
+// from rng.Stream(Seed, p), so the expansion — not the execution
+// mode — defines the grid's seed layout.
+func expandPoints(cfg Config) []Job {
+	points := make([]Job, 0, len(cfg.Jobs))
+	for i := range cfg.Jobs {
+		job := cfg.job(i)
+		reps := job.Replicas
+		if reps < 1 {
+			reps = 1
+		}
+		for c := 0; c < reps; c++ {
+			points = append(points, job)
+		}
+	}
+	return points
+}
+
+// familyKey renders everything that determines which code paths and
+// ChainCache entries a job exercises: the full workload and scheduler
+// parameterization (not just the kinds — two weighted schedulers with
+// different weight vectors are different families), the process and
+// crash counts, and exactness.
+func familyKey(j Job) string {
+	return fmt.Sprintf("%s|q%d|s%d|w%d|p%d|n%d|c%d|x%t|%s",
+		j.Workload.Kind, j.Workload.Q, j.Workload.S, j.Workload.WaitFactor,
+		j.Workload.PoolSize, j.N, j.Crash, j.Exact, j.Sched)
+}
+
+// shapeKey extends familyKey with the run length: points with equal
+// shape keys are identical jobs apart from Label and can share one
+// lockstep replica batch.
+func shapeKey(j Job) string {
+	return fmt.Sprintf("%s|t%d|f%g", familyKey(j), j.Steps, j.WarmupFraction)
+}
+
+// dispatchGroups returns the units of work handed to workers: point
+// index groups, each either a singleton (scalar execution) or a run
+// of same-shape batchable points (one BatchSim). With BatchFamilies
+// or ReplicaBatch the order groups same-family points adjacently
+// (stable, so relative input order is kept); otherwise input order.
+func dispatchGroups(cfg Config, points []Job) [][]int {
+	order := make([]int, len(points))
 	for i := range order {
 		order[i] = i
 	}
-	if !cfg.BatchFamilies {
-		return order
+	width := cfg.ReplicaBatch
+	var keys []string
+	if cfg.BatchFamilies || width > 1 {
+		keys = make([]string, len(points))
+		for i := range points {
+			keys[i] = shapeKey(points[i])
+		}
+		sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
 	}
-	keys := make([]string, len(cfg.Jobs))
-	for i, j := range cfg.Jobs {
-		keys[i] = fmt.Sprintf("%s|q%d|s%d|w%d|x%t|%s",
-			j.Workload.Kind, j.Workload.Q, j.Workload.S, j.Workload.WaitFactor,
-			j.Exact, j.Sched.Kind)
+	groups := make([][]int, 0, len(order))
+	for start := 0; start < len(order); {
+		end := start + 1
+		if width > 1 && batchable(cfg, points[order[start]]) {
+			key := keys[order[start]]
+			for end < len(order) && end-start < width &&
+				batchable(cfg, points[order[end]]) &&
+				keys[order[end]] == key {
+				end++
+			}
+		}
+		groups = append(groups, order[start:end])
+		start = end
 	}
-	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
-	return order
+	return groups
 }
 
-// Run executes the sweep and returns one result per job, in input
-// order. The first job error aborts the sweep (workers finish their
-// in-flight jobs) and is returned wrapped with the job index.
+// cbQueue serializes user callbacks without ever holding the sweep's
+// bookkeeping mutex around them: workers enqueue closures (cheap, under
+// the queue's own lock) and exactly one worker at a time drains the
+// queue. A callback that blocks — say, OnResult streaming to a stalled
+// client — stalls only the draining worker's progress through *this*
+// queue; done accounting and the other queue keep flowing.
+type cbQueue struct {
+	mu       sync.Mutex
+	pending  []func()
+	draining bool
+}
+
+func (q *cbQueue) enqueue(fn func()) {
+	q.mu.Lock()
+	q.pending = append(q.pending, fn)
+	q.mu.Unlock()
+}
+
+func (q *cbQueue) drain() {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return
+	}
+	q.draining = true
+	for len(q.pending) > 0 {
+		fn := q.pending[0]
+		q.pending = q.pending[1:]
+		q.mu.Unlock()
+		fn()
+		q.mu.Lock()
+	}
+	q.draining = false
+	q.mu.Unlock()
+}
+
+// Run executes the sweep and returns one result per point — one per
+// job, times its Replicas expansion — in input order. The first point
+// error aborts the sweep (workers finish their in-flight work) and is
+// returned wrapped with the point index.
 func Run(cfg Config) ([]Result, error) {
 	if len(cfg.Jobs) == 0 {
 		return nil, errors.New("sweep: no jobs")
@@ -227,17 +339,22 @@ func Run(cfg Config) ([]Result, error) {
 			return nil, fmt.Errorf("sweep: warmup fraction %v out of [0, 1)", f)
 		}
 	}
+	if cfg.ReplicaBatch < 0 {
+		return nil, fmt.Errorf("sweep: negative replica batch width %d", cfg.ReplicaBatch)
+	}
 	for i := range cfg.Jobs {
 		if err := cfg.job(i).Validate(); err != nil {
 			return nil, fmt.Errorf("job %d: %w", i, err)
 		}
 	}
+	points := expandPoints(cfg)
+	total := len(points)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cfg.Jobs) {
-		workers = len(cfg.Jobs)
+	if workers > total {
+		workers = total
 	}
 	cache := cfg.Cache
 	if cache == nil {
@@ -248,56 +365,92 @@ func Run(cfg Config) ([]Result, error) {
 		ctxDone = cfg.Context.Done()
 	}
 
-	results := make([]Result, len(cfg.Jobs))
-	errs := make([]error, len(cfg.Jobs))
+	results := make([]Result, total)
+	errs := make([]error, total)
 	var (
 		mu   sync.Mutex
 		done int
 		fail bool
+
+		resultQ, progressQ cbQueue
 	)
-	idx := make(chan int)
+	// finish publishes one point's outcome: bookkeeping under mu,
+	// callbacks through their queues (never under mu — see cbQueue).
+	finish := func(i int, res Result, err error) {
+		results[i], errs[i] = res, err
+		mu.Lock()
+		done++
+		d := done
+		if err != nil {
+			fail = true
+		}
+		if err == nil && cfg.OnResult != nil {
+			resultQ.enqueue(func() { cfg.OnResult(res) })
+		}
+		if cfg.Progress != nil {
+			progressQ.enqueue(func() { cfg.Progress(d, total) })
+		}
+		mu.Unlock()
+		resultQ.drain()
+		progressQ.drain()
+	}
+	runScalar := func(i int) {
+		job := points[i]
+		if job.Recorder == nil {
+			job.Recorder = cfg.Recorder
+		}
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(obs.Event{Kind: obs.KindJobStart, Job: i, Label: job.Label})
+		}
+		res, err := RunJob(job, rng.Stream(cfg.Seed, uint64(i)), cache)
+		res.Index = i
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(obs.Event{
+				Kind: obs.KindJobEnd, Job: i, Label: job.Label,
+				ElapsedNS: res.Elapsed.Nanoseconds(),
+			})
+		}
+		finish(i, res, err)
+	}
+	idx := make(chan []int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				job := cfg.job(i)
-				if job.Recorder == nil {
-					job.Recorder = cfg.Recorder
+			for grp := range idx {
+				if len(grp) == 1 {
+					runScalar(grp[0])
+					continue
 				}
-				if cfg.Recorder != nil {
-					cfg.Recorder.Record(obs.Event{Kind: obs.KindJobStart, Job: i, Label: job.Label})
+				jobs := make([]Job, len(grp))
+				seeds := make([]uint64, len(grp))
+				for r, i := range grp {
+					jobs[r] = points[i]
+					seeds[r] = rng.Stream(cfg.Seed, uint64(i))
 				}
-				res, err := RunJob(job, rng.Stream(cfg.Seed, uint64(i)), cache)
-				res.Index = i
-				if cfg.Recorder != nil {
-					cfg.Recorder.Record(obs.Event{
-						Kind: obs.KindJobEnd, Job: i, Label: job.Label,
-						ElapsedNS: res.Elapsed.Nanoseconds(),
-					})
-				}
-				results[i], errs[i] = res, err
-				mu.Lock()
-				done++
+				batchRes, batchErrs, err := runJobBatch(jobs, seeds, cache)
 				if err != nil {
-					fail = true
+					// No batched form (or batch construction failed):
+					// run the group's points on the scalar path, which
+					// either succeeds or reports the real error.
+					for _, i := range grp {
+						runScalar(i)
+					}
+					continue
 				}
-				if err == nil && cfg.OnResult != nil {
-					cfg.OnResult(res)
+				for r, i := range grp {
+					batchRes[r].Index = i
+					finish(i, batchRes[r], batchErrs[r])
 				}
-				if cfg.Progress != nil {
-					cfg.Progress(done, len(cfg.Jobs))
-				}
-				mu.Unlock()
 			}
 		}()
 	}
 	canceled := false
 feed:
-	for _, i := range dispatchOrder(cfg) {
+	for _, grp := range dispatchGroups(cfg, points) {
 		select {
-		case idx <- i:
+		case idx <- grp:
 		case <-ctxDone:
 			canceled = true
 			break feed
@@ -316,7 +469,7 @@ feed:
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, describe(cfg.Jobs[i]), err)
+			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, describe(points[i]), err)
 		}
 	}
 	return results, nil

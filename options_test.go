@@ -29,6 +29,7 @@ var optionScopes = []struct {
 	{pwf.WithWorkers(2), false, true},
 	{pwf.WithProgress(nil), false, true},
 	{pwf.WithFamilyBatching(), false, true},
+	{pwf.WithReplicaBatching(8), false, true},
 }
 
 // Every Run option must have a sweep counterpart or a documented

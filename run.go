@@ -262,6 +262,25 @@ func WithFamilyBatching() Option {
 	}
 }
 
+// WithReplicaBatching runs up to width same-shape sweep points
+// together in one struct-of-arrays simulator: one scheduler draw
+// table and one workload state block step every replica per loop
+// iteration, amortizing dispatch overhead and cache misses across the
+// batch. Widths 0 and 1 select the scalar path. Every point still
+// draws from its own (seed, index) stream and results are
+// byte-identical to the scalar path; shapes without a batched form
+// (data-structure workloads, per-job hooks or recorders) fall back to
+// scalar execution transparently. Pair with SweepJob.Replicas to
+// expand one shape into a seed group. Sweep-only: a single job has
+// nothing to batch with.
+func WithReplicaBatching(width int) Option {
+	return Option{
+		name:      "WithReplicaBatching",
+		sweep:     func(c *SweepConfig) { c.ReplicaBatch = width },
+		scopeNote: "a single job has nothing to batch with",
+	}
+}
+
 // NewRunConfig returns the configuration for measuring workload w with
 // n processes under the defaults: uniform scheduler, DefaultSteps
 // steps, DefaultWarmupFraction warmup, DefaultSeed seed. Only the
