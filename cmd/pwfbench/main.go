@@ -11,25 +11,36 @@
 //   - the end-to-end simulated steps per second of a sweep job at the
 //     same process counts, on the scalar path and through the
 //     replica-batched core, which is what the ROADMAP's "as fast as
-//     the hardware allows" goal is scored on (BENCH_sweep.json).
+//     the hardware allows" goal is scored on (BENCH_sweep.json); and
+//   - the trace pipeline: per-event encode/decode cost, bytes per
+//     event, and end-to-end traced throughput of one uniform run
+//     (-tracen processes, -tracesteps steps) in every trace format —
+//     NDJSON, binary, binary+gzip (BENCH_trace.json). The
+//     encode_overhead_vs_ndjson_traced_pct column reports each
+//     format's added tracing cost (traced minus untraced wall time)
+//     as a percentage of the NDJSON-traced run it replaces; the
+//     binary rows are expected to stay under 10%.
 //
 // Files written with -outdir omit the host and timestamp metadata so
 // the checked-in copies diff cleanly PR over PR; the stdout report
-// keeps them. -check compares the freshly measured sweep rows
-// against a checked-in baseline and exits non-zero when any
-// ns-per-step figure regressed beyond -tolerance, which is how CI
-// catches sweep-core slowdowns.
+// keeps them. -check compares the freshly measured rows against one
+// or more checked-in baselines (comma-separated) and exits non-zero
+// when any sweep ns-per-step figure, trace encode cost, or trace
+// compression ratio regressed beyond -tolerance, which is how CI
+// catches sweep-core and trace-pipeline slowdowns.
 //
 // Usage:
 //
 //	pwfbench                                # print combined JSON to stdout
-//	pwfbench -outdir .                      # write BENCH_sched.json + BENCH_sweep.json
-//	pwfbench -outdir . -check BENCH_sweep.json -tolerance 0.25
+//	pwfbench -outdir .                      # write BENCH_sched.json + BENCH_sweep.json + BENCH_trace.json
+//	pwfbench -outdir . -check BENCH_sweep.json,BENCH_trace.json -tolerance 0.25
 //	pwfbench -n 16,256,1024,4096 -draws 200000 -steps 100000
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"pwf/internal/obs"
 	"pwf/internal/rng"
 	"pwf/internal/sched"
 	"pwf/internal/sweep"
@@ -65,6 +77,9 @@ type Report struct {
 	Draw []DrawResult `json:"draw,omitempty"`
 	// Sweep holds end-to-end simulation throughput (BENCH_sweep.json).
 	Sweep []SweepResult `json:"sweep,omitempty"`
+	// Trace holds trace-pipeline encode/decode throughput and size per
+	// format (BENCH_trace.json).
+	Trace []TraceResult `json:"trace,omitempty"`
 }
 
 // Host identifies the benchmark environment.
@@ -107,18 +122,51 @@ type SweepResult struct {
 	BatchSpeedup float64 `json:"batch_speedup"`
 }
 
+// TraceResult is one trace-format measurement over the identical
+// event stream of a uniform run: encode and decode cost per event,
+// output size, and the end-to-end cost of running the simulation with
+// the writer attached.
+type TraceResult struct {
+	// Format is ndjson, bin, or bin-gzip.
+	Format string `json:"format"`
+	N      int    `json:"n"`
+	Steps  uint64 `json:"steps"`
+	// Events is the number of events the run emitted.
+	Events int `json:"events"`
+	// Bytes is the encoded trace size.
+	Bytes         int     `json:"bytes"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	// CompressionVsNDJSON is ndjson bytes / this format's bytes (1 for
+	// the ndjson row).
+	CompressionVsNDJSON float64 `json:"compression_vs_ndjson"`
+	EncodeNsPerEvent    float64 `json:"encode_ns_per_event"`
+	DecodeNsPerEvent    float64 `json:"decode_ns_per_event"`
+	// TracedNsPerStep is the end-to-end simulation cost with this
+	// format's writer attached.
+	TracedNsPerStep float64 `json:"traced_ns_per_step"`
+	// EncodeOverheadVsNDJSONTracedPct is (traced − untraced) wall time
+	// as a percentage of the NDJSON-traced run: what switching this
+	// format's tracing on costs, relative to the v1 pipeline it
+	// replaces. (Relative to the *untraced* run any per-event call
+	// dominates — a ~20 ns/step simulator loop leaves no room — so the
+	// honest yardstick for a faster format is the format it displaces.)
+	EncodeOverheadVsNDJSONTracedPct float64 `json:"encode_overhead_vs_ndjson_traced_pct"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pwfbench", flag.ContinueOnError)
 	var (
-		outDir    = fs.String("outdir", "", "write BENCH_sched.json and BENCH_sweep.json into this directory (host metadata stripped) instead of printing to stdout")
-		nList     = fs.String("n", "16,256,1024,4096", "comma-separated process counts")
-		draws     = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
-		steps     = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
-		reps      = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
-		width     = fs.Int("width", 16, "replica-batch width for the batched sweep timings")
-		scheds    = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
-		checkPath = fs.String("check", "", "compare measured sweep rows against this baseline BENCH_sweep.json and fail on regression")
-		tolerance = fs.Float64("tolerance", 0.25, "relative ns-per-step slowdown tolerated by -check (0.25 = 25%)")
+		outDir     = fs.String("outdir", "", "write BENCH_sched.json and BENCH_sweep.json into this directory (host metadata stripped) instead of printing to stdout")
+		nList      = fs.String("n", "16,256,1024,4096", "comma-separated process counts")
+		draws      = fs.Int("draws", 200000, "draws per (scheduler, impl, n) timing")
+		steps      = fs.Uint64("steps", 100000, "steps per end-to-end sweep job")
+		reps       = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
+		width      = fs.Int("width", 16, "replica-batch width for the batched sweep timings")
+		scheds     = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
+		traceN     = fs.Int("tracen", 1024, "process count for the trace-format timings")
+		traceSteps = fs.Uint64("tracesteps", 1000000, "steps for the trace-format timings")
+		checkPath  = fs.String("check", "", "comma-separated baseline files (BENCH_sweep.json and/or BENCH_trace.json) to compare measured rows against; fail on regression")
+		tolerance  = fs.Float64("tolerance", 0.25, "relative slowdown tolerated by -check (0.25 = 25%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +177,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *draws < 1 || *steps < 1 || *reps < 1 || *width < 1 {
 		return fmt.Errorf("-draws, -steps, -reps and -width must be >= 1")
+	}
+	if *traceN < 2 || *traceSteps < 1 {
+		return fmt.Errorf("-tracen must be >= 2 and -tracesteps >= 1")
 	}
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance must be >= 0")
@@ -162,13 +213,19 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Sweep = append(rep.Sweep, res...)
 	}
+	rep.Trace, err = measureTrace(*traceN, *traceSteps, *reps)
+	if err != nil {
+		return err
+	}
 
-	// Compare against the baseline before -outdir overwrites it, but
+	// Compare against the baselines before -outdir overwrites them, but
 	// still write the fresh files either way so the new numbers are
 	// available as an artifact even on a failing check.
 	var checkErr error
 	if *checkPath != "" {
-		checkErr = checkRegression(*checkPath, rep.Sweep, *tolerance)
+		for _, p := range strings.Split(*checkPath, ",") {
+			checkErr = errors.Join(checkErr, checkRegression(strings.TrimSpace(p), rep, *tolerance))
+		}
 	}
 	if *outDir != "" {
 		if err := writeReports(*outDir, rep); err != nil {
@@ -200,6 +257,7 @@ func writeReports(dir string, rep Report) error {
 	}{
 		{"BENCH_sched.json", Report{Draw: rep.Draw}},
 		{"BENCH_sweep.json", Report{Sweep: rep.Sweep}},
+		{"BENCH_trace.json", Report{Trace: rep.Trace}},
 	}
 	for _, f := range files {
 		enc, err := json.MarshalIndent(f.rep, "", "  ")
@@ -214,12 +272,14 @@ func writeReports(dir string, rep Report) error {
 	return nil
 }
 
-// checkRegression fails when a measured sweep row is more than
-// tolerance slower (in ns/step, scalar or batched) than the matching
-// row of the baseline file. Rows are matched on (sched, workload, n,
-// steps); rows without a baseline counterpart pass, so grid changes
-// do not trip the gate.
-func checkRegression(path string, cur []SweepResult, tolerance float64) error {
+// checkRegression fails when a measured row is more than tolerance
+// worse than the matching row of the baseline file: sweep rows on
+// ns/step (scalar or batched), trace rows on encode ns/event and on a
+// shrinking compression ratio. Sweep rows are matched on (sched,
+// workload, n, steps) and trace rows on (format, n, steps); rows
+// without a baseline counterpart pass, so grid changes do not trip
+// the gate. One baseline file may carry either or both sections.
+func checkRegression(path string, cur Report, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("-check baseline: %w", err)
@@ -236,7 +296,7 @@ func checkRegression(path string, cur []SweepResult, tolerance float64) error {
 		byKey[key(r)] = r
 	}
 	var regressions []string
-	for _, r := range cur {
+	for _, r := range cur.Sweep {
 		b, ok := byKey[key(r)]
 		if !ok {
 			continue
@@ -252,9 +312,32 @@ func checkRegression(path string, cur []SweepResult, tolerance float64) error {
 				r.Sched, r.N, r.BatchNsPerStep, b.BatchNsPerStep))
 		}
 	}
+	traceKey := func(r TraceResult) string {
+		return fmt.Sprintf("%s|%d|%d", r.Format, r.N, r.Steps)
+	}
+	traceByKey := map[string]TraceResult{}
+	for _, r := range base.Trace {
+		traceByKey[traceKey(r)] = r
+	}
+	for _, r := range cur.Trace {
+		b, ok := traceByKey[traceKey(r)]
+		if !ok {
+			continue
+		}
+		if b.EncodeNsPerEvent > 0 && r.EncodeNsPerEvent > b.EncodeNsPerEvent*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"trace %s encode: %.2f ns/event vs baseline %.2f",
+				r.Format, r.EncodeNsPerEvent, b.EncodeNsPerEvent))
+		}
+		if b.CompressionVsNDJSON > 0 && r.CompressionVsNDJSON < b.CompressionVsNDJSON/(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"trace %s compression: %.2fx vs NDJSON, baseline %.2fx",
+				r.Format, r.CompressionVsNDJSON, b.CompressionVsNDJSON))
+		}
+	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("sweep throughput regressed beyond %.0f%%:\n  %s",
-			tolerance*100, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("benchmarks regressed beyond %.0f%% vs %s:\n  %s",
+			tolerance*100, path, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }
@@ -524,6 +607,140 @@ func measureSweeps(n int, steps uint64, reps, width int, specs []sweep.Scheduler
 			BatchNsPerStep:    batchNs,
 			BatchStepsPerSec:  float64(steps) * float64(width) / batch.Seconds(),
 			BatchSpeedup:      scalarNs / batchNs,
+		})
+	}
+	return out, nil
+}
+
+// traceVariants is the fixed format grid of the trace benchmark. The
+// NDJSON row must come first: later rows report size and overhead
+// relative to it.
+var traceVariants = []struct {
+	name   string
+	format obs.TraceFormat
+	comp   obs.Compression
+}{
+	{"ndjson", obs.TraceNDJSON, obs.CompressNone},
+	{"bin", obs.TraceBinary, obs.CompressNone},
+	{"bin-gzip", obs.TraceBinary, obs.CompressGzip},
+}
+
+// eventSink captures a run's event stream in memory so the encoders
+// can be timed over the identical events, isolated from the
+// simulator's own cost.
+type eventSink struct{ events []obs.Event }
+
+func (s *eventSink) Record(e obs.Event) { s.events = append(s.events, e) }
+
+// measureTrace times the trace pipeline on one uniform SCU run: the
+// per-event encode and decode cost of each format over the same
+// captured event stream, the encoded sizes, and the end-to-end cost
+// of the traced run against an untraced baseline.
+func measureTrace(n int, steps uint64, reps int) ([]TraceResult, error) {
+	job := sweep.Job{
+		Workload: sweep.Workload{Kind: sweep.SCU, S: 1},
+		N:        n,
+		Sched:    sweep.SchedulerSpec{Kind: sweep.SchedUniform},
+		Steps:    steps,
+	}
+	untraced := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := sweep.RunJob(job, 1, nil); err != nil {
+			return nil, fmt.Errorf("trace baseline n=%d: %w", n, err)
+		}
+		if d := time.Since(start); r == 0 || d < untraced {
+			untraced = d
+		}
+	}
+	sink := &eventSink{}
+	capJob := job
+	capJob.Recorder = sink
+	if _, err := sweep.RunJob(capJob, 1, nil); err != nil {
+		return nil, fmt.Errorf("trace capture n=%d: %w", n, err)
+	}
+	events := sink.events
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace capture n=%d: run emitted no events", n)
+	}
+
+	var out []TraceResult
+	var ndjsonBytes int
+	var ndjsonTraced time.Duration
+	for _, v := range traceVariants {
+		var raw []byte
+		encode := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			var buf bytes.Buffer
+			w, err := obs.NewTraceWriter(&buf, v.format, v.comp)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i := range events {
+				w.Record(events[i])
+			}
+			if err := w.Flush(); err != nil {
+				return nil, fmt.Errorf("trace %s: encode: %w", v.name, err)
+			}
+			if d := time.Since(start); r == 0 || d < encode {
+				encode = d
+			}
+			raw = buf.Bytes()
+		}
+		decode := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			back, err := obs.ReadTrace(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("trace %s: decode: %w", v.name, err)
+			}
+			if len(back) != len(events) {
+				return nil, fmt.Errorf("trace %s: decoded %d of %d events", v.name, len(back), len(events))
+			}
+			if d := time.Since(start); r == 0 || d < decode {
+				decode = d
+			}
+		}
+		traced := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			w, err := obs.NewTraceWriter(io.Discard, v.format, v.comp)
+			if err != nil {
+				return nil, err
+			}
+			tracedJob := job
+			tracedJob.Recorder = w
+			start := time.Now()
+			if _, err := sweep.RunJob(tracedJob, 1, nil); err != nil {
+				return nil, fmt.Errorf("trace %s: traced run: %w", v.name, err)
+			}
+			if err := w.Flush(); err != nil {
+				return nil, fmt.Errorf("trace %s: traced run: %w", v.name, err)
+			}
+			if d := time.Since(start); r == 0 || d < traced {
+				traced = d
+			}
+		}
+		if v.name == "ndjson" {
+			ndjsonBytes = len(raw)
+			ndjsonTraced = traced
+		}
+		overhead := float64(traced-untraced) / float64(ndjsonTraced) * 100
+		if overhead < 0 {
+			overhead = 0 // timing noise: tracing cannot be cheaper than not tracing
+		}
+		out = append(out, TraceResult{
+			Format:                          v.name,
+			N:                               n,
+			Steps:                           steps,
+			Events:                          len(events),
+			Bytes:                           len(raw),
+			BytesPerEvent:                   float64(len(raw)) / float64(len(events)),
+			CompressionVsNDJSON:             float64(ndjsonBytes) / float64(len(raw)),
+			EncodeNsPerEvent:                float64(encode.Nanoseconds()) / float64(len(events)),
+			DecodeNsPerEvent:                float64(decode.Nanoseconds()) / float64(len(events)),
+			TracedNsPerStep:                 float64(traced.Nanoseconds()) / float64(steps),
+			EncodeOverheadVsNDJSONTracedPct: overhead,
 		})
 	}
 	return out, nil

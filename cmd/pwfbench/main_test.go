@@ -11,7 +11,8 @@ import (
 
 func TestRunEmitsValidReport(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-n", "16", "-draws", "200", "-steps", "500", "-reps", "1", "-width", "2"}, &buf)
+	err := run([]string{"-n", "16", "-draws", "200", "-steps", "500", "-reps", "1", "-width", "2",
+		"-tracen", "16", "-tracesteps", "500"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,17 +56,40 @@ func TestRunEmitsValidReport(t *testing.T) {
 			t.Errorf("%s n=%d: missing batch speedup", s.Sched, s.N)
 		}
 	}
+	// ndjson, bin, bin-gzip over the same run.
+	if len(rep.Trace) != 3 {
+		t.Fatalf("got %d trace rows, want 3", len(rep.Trace))
+	}
+	for _, tr := range rep.Trace {
+		if tr.Events <= 0 || tr.Bytes <= 0 || tr.BytesPerEvent <= 0 {
+			t.Errorf("trace %s: non-positive size figures %+v", tr.Format, tr)
+		}
+		if tr.EncodeNsPerEvent <= 0 || tr.DecodeNsPerEvent <= 0 || tr.TracedNsPerStep <= 0 {
+			t.Errorf("trace %s: non-positive timing figures %+v", tr.Format, tr)
+		}
+	}
+	if rep.Trace[0].Format != "ndjson" || rep.Trace[0].CompressionVsNDJSON != 1 {
+		t.Errorf("trace row 0 is not the ndjson reference: %+v", rep.Trace[0])
+	}
+	for _, tr := range rep.Trace[1:] {
+		if tr.CompressionVsNDJSON <= 3 {
+			t.Errorf("trace %s: compression %.2fx vs NDJSON, want well above 1",
+				tr.Format, tr.CompressionVsNDJSON)
+		}
+	}
 }
 
 func TestRunWritesOutDir(t *testing.T) {
 	dir := t.TempDir()
-	err := run([]string{"-n", "16", "-draws", "100", "-steps", "200", "-reps", "1", "-width", "2", "-outdir", dir}, os.Stdout)
+	err := run([]string{"-n", "16", "-draws", "100", "-steps", "200", "-reps", "1", "-width", "2",
+		"-tracen", "16", "-tracesteps", "200", "-outdir", dir}, os.Stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, check := range map[string]func(Report) bool{
-		"BENCH_sched.json": func(r Report) bool { return len(r.Draw) > 0 && len(r.Sweep) == 0 },
-		"BENCH_sweep.json": func(r Report) bool { return len(r.Sweep) > 0 && len(r.Draw) == 0 },
+		"BENCH_sched.json": func(r Report) bool { return len(r.Draw) > 0 && len(r.Sweep) == 0 && len(r.Trace) == 0 },
+		"BENCH_sweep.json": func(r Report) bool { return len(r.Sweep) > 0 && len(r.Draw) == 0 && len(r.Trace) == 0 },
+		"BENCH_trace.json": func(r Report) bool { return len(r.Trace) == 3 && len(r.Draw) == 0 && len(r.Sweep) == 0 },
 	} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -90,15 +114,18 @@ func TestRunCheckGate(t *testing.T) {
 	fast := filepath.Join(dir, "fast.json")
 	args := func(extra ...string) []string {
 		return append([]string{"-n", "16", "-draws", "100", "-steps", "200",
-			"-reps", "1", "-width", "2", "-outdir", dir}, extra...)
+			"-reps", "1", "-width", "2", "-tracen", "16", "-tracesteps", "200",
+			"-outdir", dir}, extra...)
 	}
-	// Seed a baseline from a real run, then compare against it: the
-	// same grid within a generous tolerance must pass.
+	// Seed baselines from a real run, then compare against them: the
+	// same grid within a generous tolerance must pass, including with
+	// both baselines on one comma-separated -check.
 	if err := run(append(args(), "-outdir", dir), os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	baseline := filepath.Join(dir, "BENCH_sweep.json")
-	if err := run(args("-check", baseline, "-tolerance", "1000"), os.Stdout); err != nil {
+	traceBaseline := filepath.Join(dir, "BENCH_trace.json")
+	if err := run(args("-check", baseline+","+traceBaseline, "-tolerance", "1000"), os.Stdout); err != nil {
 		t.Errorf("generous tolerance failed the gate: %v", err)
 	}
 	// An impossibly fast baseline must trip it.
@@ -125,9 +152,39 @@ func TestRunCheckGate(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Errorf("impossible baseline passed the gate: %v", err)
 	}
-	// A missing baseline is an error, not a silent pass.
+	// Same for the trace section: an impossibly cheap encoder and an
+	// impossibly good compression ratio must both trip the gate.
+	fastTrace := filepath.Join(dir, "fast-trace.json")
+	data, err = os.ReadFile(traceBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceRep Report
+	if err := json.Unmarshal(data, &traceRep); err != nil {
+		t.Fatal(err)
+	}
+	for i := range traceRep.Trace {
+		traceRep.Trace[i].EncodeNsPerEvent = 1e-6
+		traceRep.Trace[i].CompressionVsNDJSON = 1e6
+	}
+	enc, err = json.Marshal(traceRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fastTrace, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(args("-check", fastTrace), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Errorf("impossible trace baseline passed the gate: %v", err)
+	}
+	// A missing baseline is an error, not a silent pass — even when it
+	// is the second of two comma-separated files.
 	if err := run(args("-check", filepath.Join(dir, "missing.json")), os.Stdout); err == nil {
 		t.Error("missing baseline passed the gate")
+	}
+	if err := run(args("-check", baseline+","+filepath.Join(dir, "missing.json"), "-tolerance", "1000"), os.Stdout); err == nil {
+		t.Error("missing second baseline passed the gate")
 	}
 	// Baseline rows for a different grid are ignored.
 	other := filepath.Join(dir, "other.json")
@@ -153,6 +210,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-n", "16", "-reps", "0"},
 		{"-n", "16", "-width", "0"},
 		{"-n", "16", "-tolerance", "-0.5"},
+		{"-n", "16", "-tracen", "1"},
+		{"-n", "16", "-tracesteps", "0"},
 		{"-n", "16", "-scheds", ""},
 		{"-n", "16", "-scheds", "bogus"},
 		{"-n", "16", "-scheds", "sticky:1.5"},
@@ -170,6 +229,7 @@ func TestRunSchedsFlagUsesSharedGrammar(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
 		"-n", "16", "-draws", "100", "-steps", "500", "-reps", "1", "-width", "2",
+		"-tracen", "16", "-tracesteps", "200",
 		"-scheds", "sticky:0.5, lottery:" + strings.Repeat("1,", 15) + "2",
 	}, &buf)
 	if err != nil {

@@ -11,6 +11,14 @@
 //	pwfchains -chain scu -n 4
 //	pwfchains -chain fetchinc -n 8
 //	pwfchains -chain parallel -n 3 -q 3
+//
+// Observability flags: -trace records the analysis as job lifecycle
+// events (job_start/job_end with the chain family and wall time);
+// -trace-format selects NDJSON (v1, default) or the compact binary
+// framing (v2, "bin") and -trace-compress adds per-frame gzip to
+// binary traces; -metrics prints a JSON metrics snapshot — the
+// chain-cache hit/miss gauges — to stderr. The trace speaks the same
+// wire schema as pwfsim's, so one tool reads both.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"pwf/internal/chains"
 	"pwf/internal/markov"
@@ -36,18 +45,48 @@ func main() {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pwfchains", flag.ContinueOnError)
 	var (
-		chain   = fs.String("chain", "scu", "chain family: scu, fetchinc, parallel")
-		n       = fs.Int("n", 4, "number of processes")
-		q       = fs.Int("q", 3, "steps per operation (parallel only)")
-		full    = fs.Bool("individual", true, "also build the individual chain and verify the lifting")
-		dot     = fs.Bool("dot", false, "emit the system chain as Graphviz DOT (Figure 1) instead of the analysis")
-		metrics = fs.Bool("metrics", false, "print a JSON metrics snapshot (chain-cache hits/misses) to stderr")
+		chain     = fs.String("chain", "scu", "chain family: scu, fetchinc, parallel")
+		n         = fs.Int("n", 4, "number of processes")
+		q         = fs.Int("q", 3, "steps per operation (parallel only)")
+		full      = fs.Bool("individual", true, "also build the individual chain and verify the lifting")
+		dot       = fs.Bool("dot", false, "emit the system chain as Graphviz DOT (Figure 1) instead of the analysis")
+		metrics   = fs.Bool("metrics", false, "print a JSON metrics snapshot (chain-cache hits/misses) to stderr")
+		traceFile = fs.String("trace", "", "record the analysis as job lifecycle trace events in this file")
+		traceForm = fs.String("trace-format", "ndjson", "trace file format: ndjson (v1) or bin (compact binary v2)")
+		traceComp = fs.String("trace-compress", "none", "binary trace compression: none or gzip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	format, err := obs.ParseTraceFormat(*traceForm)
+	if err != nil {
+		return err
+	}
+	comp, err := obs.ParseCompression(*traceComp)
+	if err != nil {
+		return err
+	}
+	var trace obs.TraceWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if trace, err = obs.NewTraceWriter(f, format, comp); err != nil {
+			return err
+		}
+	}
 
-	err := func() error {
+	label := fmt.Sprintf("%s n=%d", *chain, *n)
+	if *chain == "parallel" {
+		label = fmt.Sprintf("%s n=%d q=%d", *chain, *n, *q)
+	}
+	if trace != nil {
+		trace.Record(obs.Event{Kind: obs.KindJobStart, Job: 0, Label: label})
+	}
+	start := time.Now()
+	err = func() error {
 		if *dot {
 			return emitDOT(out, *chain, *n, *q)
 		}
@@ -62,6 +101,13 @@ func run(args []string, out, errOut io.Writer) error {
 			return fmt.Errorf("unknown chain family %q", *chain)
 		}
 	}()
+	if trace != nil {
+		trace.Record(obs.Event{Kind: obs.KindJobEnd, Job: 0, Label: label,
+			ElapsedNS: time.Since(start).Nanoseconds()})
+		if ferr := trace.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pwf/internal/obs"
 )
 
 func TestRunSCUChain(t *testing.T) {
@@ -91,6 +95,38 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		var buf bytes.Buffer
 		if err := run(args, &buf, &buf); err == nil {
 			t.Errorf("args %v: nil error", args)
+		}
+	}
+}
+
+// TestRunTraceRecordsLifecycle checks the -trace flag in both formats:
+// the analysis brackets into job_start/job_end events carrying the
+// chain label and a positive wall time.
+func TestRunTraceRecordsLifecycle(t *testing.T) {
+	for _, format := range []string{"ndjson", "bin"} {
+		path := filepath.Join(t.TempDir(), "chains-trace")
+		var out bytes.Buffer
+		args := []string{"-chain", "scu", "-n", "3", "-trace", path, "-trace-format", format}
+		if err := run(args, &out, &out); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", format, err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("%s: got %d events, want job_start + job_end", format, len(events))
+		}
+		if events[0].Kind != obs.KindJobStart || events[0].Label != "scu n=3" {
+			t.Errorf("%s: first event %+v, want job_start with label", format, events[0])
+		}
+		if events[1].Kind != obs.KindJobEnd || events[1].ElapsedNS <= 0 {
+			t.Errorf("%s: second event %+v, want job_end with elapsed time", format, events[1])
 		}
 	}
 }

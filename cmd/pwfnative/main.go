@@ -13,10 +13,12 @@
 // -shards sets the sharded counter's shard count (0 = one per CPU).
 //
 // Observability flags: -trace writes the recovered hardware
-// interleaving as NDJSON sched events (schedule mode only); -metrics
-// prints a JSON metrics snapshot to stderr, including the wait-free
-// retry/step histograms and elimination-hit counters the rate
-// workloads record; -debug-addr serves /metrics, /debug/vars and
+// interleaving as sched events (schedule mode only); -trace-format
+// selects NDJSON (v1, default) or the compact binary framing (v2,
+// "bin") and -trace-compress adds per-frame gzip to binary traces;
+// -metrics prints a JSON metrics snapshot to stderr, including the
+// wait-free retry/step histograms and elimination-hit counters the
+// rate workloads record; -debug-addr serves /metrics, /debug/vars and
 // /debug/pprof over HTTP for the duration of the run;
 // -cpuprofile/-memprofile write pprof profiles.
 package main
@@ -54,7 +56,9 @@ func run(args []string, out, errOut io.Writer) error {
 		elimSlots  = fs.Int("elim", 0, "elimination-array slots for the stack workload (0 = disabled)")
 		shards     = fs.Int("shards", 0, "shard count for -algo sharded (0 = one per CPU)")
 		seed       = fs.Uint64("seed", 1, "seed for backoff jitter and elimination slot picks")
-		traceFile  = fs.String("trace", "", "write the recovered schedule as NDJSON events (schedule mode)")
+		traceFile  = fs.String("trace", "", "write the recovered schedule as trace events (schedule mode)")
+		traceForm  = fs.String("trace-format", "ndjson", "trace file format: ndjson (v1) or bin (compact binary v2)")
+		traceComp  = fs.String("trace-compress", "none", "binary trace compression: none or gzip")
 		metrics    = fs.Bool("metrics", false, "print a JSON metrics snapshot to stderr after the run")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -65,6 +69,14 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	if *traceFile != "" && *mode != "schedule" {
 		return fmt.Errorf("-trace applies only to -mode schedule")
+	}
+	format, err := obs.ParseTraceFormat(*traceForm)
+	if err != nil {
+		return err
+	}
+	comp, err := obs.ParseCompression(*traceComp)
+	if err != nil {
+		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
@@ -98,7 +110,7 @@ func run(args []string, out, errOut io.Writer) error {
 	err = withProfiles(*cpuProfile, *memProfile, func() error {
 		switch *mode {
 		case "schedule":
-			return runSchedule(out, *workers, *ops, *traceFile)
+			return runSchedule(out, *workers, *ops, *traceFile, format, comp)
 		case "rate":
 			return runRate(out, *maxWorkers, *ops, *algo, *metrics, structOpts)
 		default:
@@ -142,7 +154,7 @@ func withProfiles(cpu, mem string, f func() error) error {
 	return nil
 }
 
-func runSchedule(out io.Writer, workers, ops int, traceFile string) error {
+func runSchedule(out io.Writer, workers, ops int, traceFile string, format obs.TraceFormat, comp obs.Compression) error {
 	s, err := native.RecordSchedule(workers, ops)
 	if err != nil {
 		return err
@@ -151,7 +163,7 @@ func runSchedule(out io.Writer, workers, ops int, traceFile string) error {
 		s.Len(), workers, runtime.GOMAXPROCS(0))
 
 	if traceFile != "" {
-		if err := writeScheduleTrace(traceFile, s); err != nil {
+		if err := writeScheduleTrace(traceFile, s, format, comp); err != nil {
 			return err
 		}
 	}
@@ -175,15 +187,21 @@ func runSchedule(out io.Writer, workers, ops int, traceFile string) error {
 }
 
 // writeScheduleTrace dumps the recovered hardware interleaving as
-// NDJSON sched events (1-based steps, matching the simulator's
-// numbering) so it can be replayed through the simulator's
-// trace-driven scheduler.
-func writeScheduleTrace(path string, s *native.Schedule) error {
+// sched events (1-based steps, matching the simulator's numbering) in
+// the selected trace format so it can be replayed through the
+// simulator's trace-driven scheduler. Binary hardware schedules are a
+// natural fit for delta coding: consecutive steps differ by one, so
+// each event costs about two bytes before compression.
+func writeScheduleTrace(path string, s *native.Schedule, format obs.TraceFormat, comp obs.Compression) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	tr := obs.NewTraceRecorder(f)
+	tr, err := obs.NewTraceWriter(f, format, comp)
+	if err != nil {
+		f.Close()
+		return err
+	}
 	for i, w := range s.Order() {
 		tr.Record(obs.Event{Kind: obs.KindSched, Step: uint64(i) + 1, PID: int(w)})
 	}

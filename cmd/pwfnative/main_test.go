@@ -55,6 +55,47 @@ func TestRunScheduleTrace(t *testing.T) {
 	}
 }
 
+// TestRunScheduleTraceBinary records the hardware schedule in trace
+// format v2 and checks it decodes to the same shape as the NDJSON
+// path: all sched events with consecutive 1-based steps.
+func TestRunScheduleTraceBinary(t *testing.T) {
+	for _, comp := range []string{"none", "gzip"} {
+		path := filepath.Join(t.TempDir(), "sched.pwft")
+		var buf bytes.Buffer
+		args := []string{"-mode", "schedule", "-workers", "2", "-ops", "1000",
+			"-trace", path, "-trace-format", "bin", "-trace-compress", comp}
+		if err := run(args, &buf, &buf); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("compress=%s: decode: %v", comp, err)
+		}
+		if len(events) != 2*1000 {
+			t.Fatalf("compress=%s: got %d events, want %d", comp, len(events), 2*1000)
+		}
+		for i, e := range events {
+			if e.Kind != obs.KindSched || e.Step != uint64(i)+1 {
+				t.Fatalf("compress=%s: event %d: %+v", comp, i, e)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-mode", "schedule", "-workers", "1", "-ops", "10",
+		"-trace", filepath.Join(t.TempDir(), "x"), "-trace-format", "xml"}
+	if err := run(args, &buf, &buf); err == nil {
+		t.Error("unknown -trace-format accepted")
+	}
+}
+
 func TestRunRateAllWorkloads(t *testing.T) {
 	for _, algo := range []string{"counter", "add", "sharded", "stack", "queue"} {
 		algo := algo

@@ -238,6 +238,106 @@ func TestRunTraceEmitsValidNDJSON(t *testing.T) {
 	}
 }
 
+// TestRunTraceFormats runs the same seed once per format/compression
+// combination and requires all traces to decode to the identical event
+// stream — the flag changes the file size, never the history.
+func TestRunTraceFormats(t *testing.T) {
+	dir := t.TempDir()
+	type variant struct {
+		name         string
+		format, comp string
+	}
+	variants := []variant{
+		{"ndjson", "ndjson", "none"},
+		{"bin", "bin", "none"},
+		{"bin-gzip", "bin", "gzip"},
+	}
+	var first []obs.Event
+	sizes := map[string]int64{}
+	for _, v := range variants {
+		path := filepath.Join(dir, "trace-"+v.name)
+		var buf bytes.Buffer
+		args := []string{"-algo", "scu", "-n", "2", "-steps", "5000", "-seed", "7",
+			"-trace", path, "-trace-format", v.format, "-trace-compress", v.comp}
+		if err := run(args, &buf, &buf); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[v.name] = st.Size()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", v.name, err)
+		}
+		// job_end carries wall-clock time, the one nondeterministic
+		// field across otherwise identical runs.
+		for i := range events {
+			if events[i].Kind == obs.KindJobEnd {
+				events[i].ElapsedNS = 0
+			}
+		}
+		if first == nil {
+			first = events
+			continue
+		}
+		if len(events) != len(first) {
+			t.Fatalf("%s: %d events, ndjson run had %d", v.name, len(events), len(first))
+		}
+		for i := range events {
+			if events[i] != first[i] {
+				t.Fatalf("%s: event %d: %+v, ndjson run had %+v", v.name, i, events[i], first[i])
+			}
+		}
+	}
+	if sizes["bin"] >= sizes["ndjson"] {
+		t.Errorf("binary trace (%d B) not smaller than NDJSON (%d B)", sizes["bin"], sizes["ndjson"])
+	}
+	if sizes["bin-gzip"] >= sizes["bin"] {
+		t.Errorf("gzip trace (%d B) not smaller than uncompressed binary (%d B)",
+			sizes["bin-gzip"], sizes["bin"])
+	}
+}
+
+func TestRunRejectsBadTraceFlags(t *testing.T) {
+	var buf bytes.Buffer
+	base := []string{"-algo", "scu", "-n", "2", "-steps", "100"}
+	if err := run(append(base, "-trace-format", "xml"), &buf, &buf); err == nil {
+		t.Error("unknown -trace-format accepted")
+	}
+	if err := run(append(base, "-trace-compress", "zstd"), &buf, &buf); err == nil {
+		t.Error("unknown -trace-compress accepted")
+	}
+	path := filepath.Join(t.TempDir(), "t")
+	if err := run(append(base, "-trace", path, "-trace-format", "ndjson", "-trace-compress", "gzip"),
+		&buf, &buf); err == nil {
+		t.Error("compressed NDJSON accepted")
+	}
+}
+
+func TestRunDebugAddrTailsTrace(t *testing.T) {
+	// The debug server tails the live trace; by the time run returns
+	// the tailer is closed, so we cannot hit the endpoint here — that
+	// path is covered by the obs package's HTTP tests. This test pins
+	// the wiring: -debug-addr alone (no -trace) must not fail, and the
+	// trace_tail metrics must register on the default registry.
+	var out, errOut bytes.Buffer
+	args := []string{"-algo", "scu", "-n", "2", "-steps", "2000",
+		"-debug-addr", "127.0.0.1:0", "-metrics"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "trace_tail_evicted") {
+		t.Errorf("metrics snapshot missing trace_tail_evicted:\n%s", errOut.String())
+	}
+}
+
 func TestRunMetricsSnapshot(t *testing.T) {
 	var out, errOut bytes.Buffer
 	args := []string{"-algo", "scu", "-n", "2", "-steps", "5000",

@@ -23,10 +23,13 @@
 //   - Metrics: Counter and Histogram are wait-free atomics, safe to
 //     call from any goroutine; Registry names them and snapshots to
 //     JSON or expvar.
-//   - Export: TraceRecorder writes NDJSON (one event per line,
-//     re-parseable by ReadEvents for replay), Metrics aggregates
-//     events into a Registry, ServeDebug exposes expvar + pprof +
-//     /metrics over HTTP for long sweeps.
+//   - Export: TraceRecorder writes NDJSON (trace format v1, one event
+//     per line) and BinaryTraceWriter writes compact varint-packed
+//     frames with optional per-frame gzip (format v2, see binary.go);
+//     both re-parse through ReadTrace for byte-exact replay. Metrics
+//     aggregates events into a Registry, TraceTailer streams the
+//     newest events of a live run, and ServeDebug exposes expvar +
+//     pprof + /metrics + /debug/trace/tail over HTTP for long sweeps.
 package obs
 
 import "fmt"

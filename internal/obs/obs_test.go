@@ -123,6 +123,58 @@ func TestReadEventsRejectsOversizedLine(t *testing.T) {
 	}
 }
 
+func TestReadEventsWithSkipMalformed(t *testing.T) {
+	in := "{\"kind\":\"sched\",\"step\":1,\"pid\":0}\n" +
+		"not json\n" +
+		"{\"kind\":\"nonsense\"}\n" +
+		"{\"kind\":\"sched\",\"step\":2,\"pid\":1}\n"
+	reg := NewRegistry()
+	skipped := reg.Counter("my_skips")
+	got, err := ReadEventsWith(strings.NewReader(in), ReadOptions{
+		SkipMalformed: true, Skipped: skipped,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Step != 1 || got[1].Step != 2 {
+		t.Fatalf("got %+v, want the two valid sched events", got)
+	}
+	if n := skipped.Load(); n != 2 {
+		t.Errorf("skip counter = %d, want 2", n)
+	}
+
+	// With a nil counter the skips land on the Default registry's
+	// trace_lines_skipped.
+	before := Default.Counter("trace_lines_skipped").Load()
+	if _, err := ReadEventsWith(strings.NewReader(in), ReadOptions{SkipMalformed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Default.Counter("trace_lines_skipped").Load() - before; got != 2 {
+		t.Errorf("trace_lines_skipped advanced by %d, want 2", got)
+	}
+}
+
+func TestReadEventsWithMaxLineBytes(t *testing.T) {
+	line := "{\"kind\":\"job_start\",\"job\":0,\"label\":\"" + strings.Repeat("x", 1<<10) + "\"}\n"
+	// Tight cap: rejected even in skip mode (the scanner cannot
+	// resynchronize past an overlong line).
+	if _, err := ReadEventsWith(strings.NewReader(line), ReadOptions{
+		MaxLineBytes: 64, SkipMalformed: true,
+	}); err == nil {
+		t.Fatal("line over the configured cap accepted")
+	} else if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	// Raised cap: the same line parses.
+	got, err := ReadEventsWith(strings.NewReader(line), ReadOptions{MaxLineBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Label) != 1<<10 {
+		t.Fatalf("got %d events, want the one long-label event", len(got))
+	}
+}
+
 func TestMultiDropsNopAndNil(t *testing.T) {
 	if Multi() != nil {
 		t.Error("Multi() != nil")

@@ -126,18 +126,56 @@ func (t *TraceRecorder) Flush() error {
 	return t.err
 }
 
-// maxTraceLine is the largest NDJSON line ReadEvents accepts. Events
-// written by TraceRecorder are a few hundred bytes, so the 4 MiB cap
-// only triggers on corrupt or non-trace input.
-const maxTraceLine = 1 << 22
+// DefaultMaxTraceLine is the largest NDJSON line ReadEvents accepts
+// by default. Events written by TraceRecorder are a few hundred
+// bytes, so the 4 MiB cap only triggers on corrupt or non-trace
+// input; raise it per read with ReadOptions.MaxLineBytes. The limit
+// is documented in DESIGN.md ("Trace formats").
+const DefaultMaxTraceLine = 1 << 22
+
+// ReadOptions parameterizes ReadEventsWith. The zero value reproduces
+// ReadEvents: strict parsing under the default 4 MiB line cap.
+type ReadOptions struct {
+	// MaxLineBytes caps one NDJSON line; 0 selects DefaultMaxTraceLine.
+	MaxLineBytes int
+	// SkipMalformed recovers from malformed lines instead of failing:
+	// each one is counted on the skip counter and dropped, so a
+	// corrupt trace yields its parseable events — visibly shortened,
+	// never quietly. Lines past the byte cap still fail, because the
+	// scanner cannot resynchronize beyond them.
+	SkipMalformed bool
+	// Skipped counts skipped malformed lines; nil selects the Default
+	// registry's trace_lines_skipped counter.
+	Skipped *Counter
+}
 
 // ReadEvents parses an NDJSON event stream (as written by
 // TraceRecorder) back into events, preserving order. Blank lines are
 // skipped; any malformed line — including one longer than the 4 MiB
 // scanner limit — is an error naming its line number.
 func ReadEvents(r io.Reader) ([]Event, error) {
+	return ReadEventsWith(r, ReadOptions{})
+}
+
+// ReadEventsWith is ReadEvents with an adjustable line cap and a
+// skip-and-count recovery mode for corrupt traces (see ReadOptions).
+func ReadEventsWith(r io.Reader, opts ReadOptions) ([]Event, error) {
+	maxLine := opts.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxTraceLine
+	}
+	skipped := opts.Skipped
+	if skipped == nil {
+		skipped = Default.Counter("trace_lines_skipped")
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), maxTraceLine)
+	// The scanner's effective cap is max(maxLine, cap(buf)), so the
+	// initial buffer must not exceed a below-default MaxLineBytes.
+	initial := 1 << 16
+	if maxLine < initial {
+		initial = maxLine
+	}
+	sc.Buffer(make([]byte, 0, initial), maxLine)
 	var out []Event
 	line := 0
 	for sc.Scan() {
@@ -148,6 +186,10 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
+			if opts.SkipMalformed {
+				skipped.Inc()
+				continue
+			}
 			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
 		out = append(out, e)
@@ -157,7 +199,7 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 			// The scanner stops at the offending line without consuming
 			// it, so the failure is on the line after the last good one.
 			return nil, fmt.Errorf("obs: trace line %d exceeds %d-byte limit: %w",
-				line+1, maxTraceLine, err)
+				line+1, maxLine, err)
 		}
 		return nil, fmt.Errorf("obs: read trace: %w", err)
 	}

@@ -26,8 +26,26 @@ type (
 	Registry = obs.Registry
 	// MetricsSnapshot is a point-in-time copy of a Registry.
 	MetricsSnapshot = obs.Snapshot
-	// TraceRecorder writes events as NDJSON, one per line.
+	// TraceRecorder writes events as NDJSON, one per line (trace
+	// format v1).
 	TraceRecorder = obs.TraceRecorder
+	// BinaryTraceWriter writes events as varint-packed binary frames
+	// (trace format v2), optionally gzip-compressed per frame.
+	BinaryTraceWriter = obs.BinaryTraceWriter
+	// BinaryTraceOptions parameterizes NewBinaryTraceWriter.
+	BinaryTraceOptions = obs.BinaryTraceOptions
+	// TraceWriter is the common interface of TraceRecorder and
+	// BinaryTraceWriter: a Recorder with a final Flush.
+	TraceWriter = obs.TraceWriter
+	// TraceFormat names a trace file format ("ndjson" or "bin").
+	TraceFormat = obs.TraceFormat
+	// TraceCompression selects per-frame compression of binary traces.
+	TraceCompression = obs.Compression
+	// TraceTailer retains the newest events of a live run in a bounded
+	// ring and streams them over HTTP with cursor resume.
+	TraceTailer = obs.TraceTailer
+	// DebugOption extends ServeDebug (see WithTraceTail).
+	DebugOption = obs.DebugOption
 	// MetricsRecorder aggregates simulator events into registry
 	// metrics (sim_* counters and the CAS-attempts histogram).
 	MetricsRecorder = obs.Metrics
@@ -52,6 +70,31 @@ const (
 	EventJobEnd   = obs.KindJobEnd
 )
 
+// Trace formats and compressions, re-exported; these are the values of
+// the CLIs' -trace-format and -trace-compress flags.
+const (
+	TraceFormatNDJSON = obs.TraceNDJSON
+	TraceFormatBinary = obs.TraceBinary
+	TraceCompressNone = obs.CompressNone
+	TraceCompressGzip = obs.CompressGzip
+)
+
+// Trace format v2 sentinel errors, re-exported; check with errors.Is.
+var (
+	// ErrTraceVersion reports a binary trace whose version this
+	// build does not speak.
+	ErrTraceVersion = obs.ErrTraceVersion
+	// ErrNotBinaryTrace reports input without the binary trace magic.
+	ErrNotBinaryTrace = obs.ErrNotBinaryTrace
+)
+
+// ParseTraceFormat parses a -trace-format flag value ("ndjson", "bin").
+func ParseTraceFormat(s string) (TraceFormat, error) { return obs.ParseTraceFormat(s) }
+
+// ParseTraceCompression parses a -trace-compress flag value ("none",
+// "gzip").
+func ParseTraceCompression(s string) (TraceCompression, error) { return obs.ParseCompression(s) }
+
 // DefaultRegistry returns the process-wide metrics registry. The
 // sweep engine's chain cache publishes its hit/miss gauges here, and
 // the CLIs snapshot it for -metrics.
@@ -61,6 +104,28 @@ func DefaultRegistry() *Registry { return obs.Default }
 // call Flush when the run is over. Parse traces back with
 // ReadTraceEvents.
 func NewTraceRecorder(w io.Writer) *TraceRecorder { return obs.NewTraceRecorder(w) }
+
+// NewTraceWriter returns the trace writer for a (format, compression)
+// pair — the NDJSON recorder or the v2 binary writer. Compression
+// requires the binary format. Parse either format back with
+// ReadTraceEvents.
+func NewTraceWriter(w io.Writer, format TraceFormat, comp TraceCompression) (TraceWriter, error) {
+	return obs.NewTraceWriter(w, format, comp)
+}
+
+// NewTraceTailer returns a live-trace ring buffer retaining the newest
+// capacity events (<= 0 selects the default 8192); fan it alongside a
+// trace writer with MultiRecorder and mount it on the debug server via
+// ServeDebug(addr, reg, WithTraceTail(t)). Call Close when the run is
+// over so tailing clients terminate.
+func NewTraceTailer(capacity int, reg *Registry) *TraceTailer {
+	return obs.NewTraceTailer(capacity, reg)
+}
+
+// WithTraceTail mounts t's stream at /debug/trace/tail on ServeDebug's
+// mux: NDJSON events with no-dup/no-gap cursor resume (cursor query
+// parameter or Last-Event-ID header).
+func WithTraceTail(t *TraceTailer) DebugOption { return obs.WithTraceTail(t) }
 
 // NewMetricsRecorder returns a Recorder aggregating simulator events
 // into reg (nil selects DefaultRegistry).
@@ -75,18 +140,20 @@ func NewMetricsRecorder(reg *Registry) *MetricsRecorder {
 // dropped and nil is returned when none remain.
 func MultiRecorder(rs ...Recorder) Recorder { return obs.Multi(rs...) }
 
-// ReadTraceEvents parses an NDJSON trace (as written by
-// TraceRecorder) back into events, preserving order.
-func ReadTraceEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+// ReadTraceEvents parses a trace in either format back into events,
+// preserving order: it sniffs the v2 binary magic and falls back to
+// NDJSON, so replay tooling is agnostic to how a trace was recorded.
+func ReadTraceEvents(r io.Reader) ([]Event, error) { return obs.ReadTrace(r) }
 
 // ServeDebug starts an HTTP listener on addr exposing /metrics (the
-// registry snapshot), /debug/vars (expvar), and /debug/pprof. It
-// returns the bound address and a stop function.
-func ServeDebug(addr string, reg *Registry) (bound string, stop func() error, err error) {
+// registry snapshot), /debug/vars (expvar), /debug/pprof, and — with
+// WithTraceTail — /debug/trace/tail. It returns the bound address and
+// a stop function.
+func ServeDebug(addr string, reg *Registry, opts ...DebugOption) (bound string, stop func() error, err error) {
 	if reg == nil {
 		reg = obs.Default
 	}
-	return obs.ServeDebug(addr, reg)
+	return obs.ServeDebug(addr, reg, opts...)
 }
 
 // ChainCache memoizes exact-chain analyses; see SweepConfig.Cache.

@@ -25,6 +25,7 @@ var optionScopes = []struct {
 	{pwf.WithSeed(7), true, true},
 	{pwf.WithRecorder(nil), true, true},
 	{pwf.WithTrace(&bytes.Buffer{}), true, true},
+	{pwf.WithTraceFormat(&bytes.Buffer{}, pwf.TraceFormatBinary, pwf.TraceCompressGzip), true, true},
 	{pwf.WithChainCache(nil), true, true},
 	{pwf.WithWorkers(2), false, true},
 	{pwf.WithProgress(nil), false, true},

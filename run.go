@@ -216,6 +216,49 @@ func WithTrace(w io.Writer) Option {
 	}
 }
 
+// invalidRecorder is the Recorder WithTraceFormat installs when its
+// arguments are invalid. Option constructors cannot return errors, so
+// the error rides the config and Run/RunSweep fail fast on it before
+// touching the simulator.
+type invalidRecorder struct{ err error }
+
+func (invalidRecorder) Record(Event) {}
+
+// checkRecorder surfaces an option-construction error carried by the
+// configured recorder.
+func checkRecorder(r Recorder) error {
+	if bad, ok := r.(invalidRecorder); ok {
+		return bad.err
+	}
+	return nil
+}
+
+// WithTraceFormat records the run's (or the whole sweep's) events to w
+// in the selected trace format — TraceFormatNDJSON for the v1
+// line-oriented format or TraceFormatBinary for the compact v2 framing
+// — with optional per-frame compression (binary only; see
+// NewTraceWriter). It is WithTrace with the format made explicit:
+//
+//	pwf.WithTraceFormat(f, pwf.TraceFormatBinary, pwf.TraceCompressGzip)
+//
+// Like WithTrace it replaces any previously set recorder and flushes
+// when Run/RunSweep returns. Invalid format/compression combinations
+// are reported by Run/RunSweep, not silently ignored.
+func WithTraceFormat(w io.Writer, format TraceFormat, comp TraceCompression) Option {
+	rec := func() Recorder {
+		tw, err := obs.NewTraceWriter(w, format, comp)
+		if err != nil {
+			return invalidRecorder{err}
+		}
+		return tw
+	}
+	return Option{
+		name:  "WithTraceFormat",
+		run:   func(c *RunConfig) { c.Recorder = rec() },
+		sweep: func(c *SweepConfig) { c.Recorder = rec() },
+	}
+}
+
 // WithChainCache selects the memoization cache for exact-chain
 // analyses (default: the process-wide cache shared by all runs).
 func WithChainCache(cache *ChainCache) Option {
@@ -321,6 +364,9 @@ func Run(cfg RunConfig, opts ...Option) (Latencies, error) {
 		}
 		opt.run(&cfg)
 	}
+	if err := checkRecorder(cfg.Recorder); err != nil {
+		return Latencies{}, fmt.Errorf("pwf: run: %w", err)
+	}
 	res, err := sweep.RunJob(sweep.Job{
 		Workload:       cfg.Workload,
 		N:              cfg.N,
@@ -329,8 +375,8 @@ func Run(cfg RunConfig, opts ...Option) (Latencies, error) {
 		WarmupFraction: cfg.WarmupFraction,
 		Recorder:       cfg.Recorder,
 	}, cfg.Seed, cfg.Cache)
-	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {
-		if ferr := tr.Flush(); ferr != nil && err == nil {
+	if tw, ok := cfg.Recorder.(interface{ Flush() error }); ok {
+		if ferr := tw.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}
@@ -374,9 +420,12 @@ func RunSweep(cfg SweepConfig, opts ...Option) ([]SweepResult, error) {
 		}
 		opt.sweep(&cfg)
 	}
+	if err := checkRecorder(cfg.Recorder); err != nil {
+		return nil, fmt.Errorf("pwf: sweep: %w", err)
+	}
 	res, err := sweep.Run(cfg)
-	if tr, ok := cfg.Recorder.(*TraceRecorder); ok {
-		if ferr := tr.Flush(); ferr != nil && err == nil {
+	if tw, ok := cfg.Recorder.(interface{ Flush() error }); ok {
+		if ferr := tw.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}
