@@ -23,7 +23,14 @@
 // Admission is bounded: grids beyond -max-grid jobs and bodies beyond
 // -max-body bytes get 413; submissions that would push the queue past
 // -max-queue jobs get 429 with a Retry-After header. All errors carry
-// a structured JSON body with a stable code.
+// a structured JSON body with a stable code. Finished sweeps age out
+// of retention; querying an evicted id yields 410 Gone (code "gone").
+//
+// With -checkpoint-dir, accepted sweeps survive restarts: grids and
+// completed points persist there (format internal/checkpoint), a
+// restarted daemon re-enqueues them, already-completed points replay
+// from the checkpoint instead of recomputing, and result-stream
+// cursors issued before the restart remain valid.
 package main
 
 import (
@@ -82,12 +89,18 @@ func start(args []string, errOut io.Writer) (*instance, error) {
 		maxBody    = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		workers    = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
 		retryAfter = fs.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+		ckptDir    = fs.String("checkpoint-dir", "", "persist sweeps here (grids + completed-point checkpoints) so they survive restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *workers < 0 {
 		return nil, fmt.Errorf("-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-checkpoint-dir: %w", err)
+		}
 	}
 
 	srv := server.New(server.Config{
@@ -96,6 +109,7 @@ func start(args []string, errOut io.Writer) (*instance, error) {
 		MaxBodyBytes:  *maxBody,
 		Workers:       *workers,
 		RetryAfter:    *retryAfter,
+		CheckpointDir: *ckptDir,
 		Registry:      obs.Default,
 		Cache:         sweep.DefaultCache,
 	})

@@ -195,6 +195,26 @@ func ResultFromSweep(r sweep.Result) Result {
 	}
 }
 
+// Sweep converts the wire result back into the engine's result type —
+// the inverse of ResultFromSweep up to the deliberately dropped
+// fields: Elapsed is zero (canonical results carry no wall clock) and
+// the job loses any process-local hooks it never had on the wire.
+// The checkpoint layer uses this to restore completed points.
+func (r Result) Sweep() sweep.Result {
+	return sweep.Result{
+		Index:           r.Index,
+		Label:           r.Label,
+		Job:             r.Job.Sweep(),
+		Seed:            r.Seed,
+		Latencies:       r.Latencies,
+		ProcCompletions: r.ProcCompletions,
+		Starved:         r.Starved,
+		Theta:           r.Theta,
+		Exact:           r.Exact,
+		ExactOK:         r.ExactOK,
+	}
+}
+
 // Stable error codes carried by Error.Code. Clients match on these,
 // never on Message text.
 const (
@@ -211,6 +231,10 @@ const (
 	CodeOverloaded = "overloaded"
 	// CodeNotFound: no such sweep (or unknown route).
 	CodeNotFound = "not_found"
+	// CodeGone: the sweep existed but its results were evicted by the
+	// retention window; resuming a cursor on it cannot succeed.
+	// Matches the trace-tail 410 contract.
+	CodeGone = "gone"
 	// CodeUnsupportedVersion: the envelope's "v" is not the version
 	// this build speaks.
 	CodeUnsupportedVersion = "unsupported_version"

@@ -1,0 +1,418 @@
+// Package checkpoint is the crash-safe persistence layer under
+// resumable sweeps: an append-only, fsync-batched log of completed
+// sweep points in the canonical internal/api Result encoding, under a
+// single-line header that binds the log to one grid (by SHA-256 of
+// the grid's canonical encoding) and one master seed.
+//
+// # File format
+//
+// The file is NDJSON. Line 1 is the header:
+//
+//	{"v":1,"format":"pwf-checkpoint","grid_sha256":"<hex>","seed":1,"points":100}
+//
+// Every following line is one canonical api.Result (schema v1, no
+// wall-clock fields), exactly the bytes pwfserve streams and pwfsim
+// -json emits for the same point. Records append in completion order;
+// point indices, not file order, key the restore.
+//
+// # Atomicity and crash safety
+//
+// The header is created via temp file + fsync + atomic rename (plus a
+// directory fsync), so a file that exists at the checkpoint path
+// always carries a complete, valid header — a crash during creation
+// leaves only a stale temp file, never a half-written checkpoint.
+// Records are appended with batched fsyncs (every Options.FlushEvery
+// commits and on Close). A SIGKILL at any byte therefore leaves a
+// loadable prefix: complete '\n'-terminated lines are restored, a
+// torn final line (no trailing newline) is discarded and overwritten
+// by the next append. A '\n'-terminated line that fails to decode is
+// real corruption and fails the load loudly, as does a header whose
+// grid hash, seed, or point count disagrees with the sweep being
+// resumed (ErrGridMismatch).
+//
+// Because sweep point i always draws from rng.Stream(seed, i),
+// restoring the completed set and executing only the remainder yields
+// canonical output byte-identical to an uninterrupted run — the
+// property the cmd/pwfsweep kill-and-resume harness test pins.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pwf/internal/api"
+	"pwf/internal/obs"
+	"pwf/internal/sweep"
+)
+
+// Format is the header's format discriminator.
+const Format = "pwf-checkpoint"
+
+// Version is the checkpoint header version this package speaks.
+const Version = 1
+
+// DefaultFlushEvery is the default fsync batch: one durability point
+// per this many commits (and always on Close). Batching trades at
+// most a batch of re-executable points on power loss for not paying
+// an fsync per point on million-job runs.
+const DefaultFlushEvery = 64
+
+// ErrGridMismatch marks a checkpoint that does not belong to the
+// sweep being resumed: different grid hash, master seed, or point
+// count. Match with errors.Is.
+var ErrGridMismatch = errors.New("checkpoint: grid mismatch")
+
+// ErrCorrupt marks a checkpoint whose interior (not its torn tail) is
+// undecodable. Match with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Meta is the header line binding a checkpoint to its sweep.
+type Meta struct {
+	V       int    `json:"v"`
+	Format  string `json:"format"`
+	GridSHA string `json:"grid_sha256"`
+	Seed    uint64 `json:"seed"`
+	Points  int    `json:"points"`
+}
+
+// Options tune a Log. The zero value selects every default.
+type Options struct {
+	// FlushEvery is the fsync batch size in commits; 0 selects
+	// DefaultFlushEvery, negative fsyncs on every commit.
+	FlushEvery int
+	// Registry receives the checkpoint_* counters (points written and
+	// restored, bytes written, fsyncs); nil selects obs.Default.
+	Registry *obs.Registry
+}
+
+// Hash returns the hex SHA-256 binding a sweep's identity: the
+// canonical api encoding of the expanded point list (job overrides
+// applied, replicas expanded — the layout that defines per-point seed
+// derivation) together with the master seed.
+func Hash(cfg sweep.Config) (string, error) {
+	points := sweep.Points(cfg)
+	jobs := make([]api.Job, len(points))
+	for i, p := range points {
+		jobs[i] = api.JobFromSweep(p)
+	}
+	b, err := api.MarshalGrid(api.Grid{V: api.Version, Seed: cfg.Seed, Jobs: jobs})
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: hash grid: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Log is the file-backed sweep.Checkpoint. Commit is safe for
+// concurrent use by sweep workers; Restore is called by sweep.Run
+// before any worker starts.
+type Log struct {
+	mu         sync.Mutex
+	f          *os.File
+	path       string
+	meta       Meta
+	restored   map[int]sweep.Result
+	sinceSync  int
+	flushEvery int
+	closed     bool
+
+	mWritten  *obs.Counter
+	mRestored *obs.Counter
+	mBytes    *obs.Counter
+	mSyncs    *obs.Counter
+}
+
+// Open creates the checkpoint at path for cfg's grid, or — if the
+// file already exists — loads it, validating that its header binds
+// exactly this grid and seed (ErrGridMismatch otherwise) and
+// restoring every complete record; a torn final line is discarded and
+// truncated away so appends resume on a clean prefix. The returned
+// Log is ready to pass as sweep.Config.Checkpoint. Callers that want
+// "refuse to overwrite" semantics (pwfsweep without -resume) stat the
+// path before calling.
+func Open(path string, cfg sweep.Config, opts Options) (*Log, error) {
+	if opts.FlushEvery == 0 {
+		opts.FlushEvery = DefaultFlushEvery
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	hash, err := Hash(cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := len(sweep.Points(cfg))
+	l := &Log{
+		path:       path,
+		meta:       Meta{V: Version, Format: Format, GridSHA: hash, Seed: cfg.Seed, Points: total},
+		restored:   make(map[int]sweep.Result),
+		flushEvery: opts.FlushEvery,
+		mWritten:   reg.Counter("checkpoint_points_written"),
+		mRestored:  reg.Counter("checkpoint_points_restored"),
+		mBytes:     reg.Counter("checkpoint_bytes_written"),
+		mSyncs:     reg.Counter("checkpoint_syncs"),
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := l.load(); err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		if err := l.create(); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("checkpoint: stat %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// create writes the header to a temp file and renames it into place,
+// so the checkpoint path never holds a headerless file.
+func (l *Log) create() error {
+	dir := filepath.Dir(l.path)
+	header, err := json.Marshal(l.meta)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal header: %w", err)
+	}
+	header = append(header, '\n')
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(header); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: sync header: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	syncDir(dir)
+	// The renamed fd stays valid for appends; no reopen needed.
+	l.f = tmp
+	l.mBytes.Add(uint64(len(header)))
+	l.mSyncs.Inc()
+	return nil
+}
+
+// load reads an existing checkpoint: header validation, record
+// restore, torn-tail truncation, and reopening for append.
+func (l *Log) load() error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read %s: %w", l.path, err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		// Creation is atomic, so a headerless file is not ours.
+		return fmt.Errorf("%w: %s has no complete header line", ErrCorrupt, l.path)
+	}
+	var meta Meta
+	if err := json.Unmarshal(data[:nl], &meta); err != nil {
+		return fmt.Errorf("%w: %s header: %v", ErrCorrupt, l.path, err)
+	}
+	if meta.V != Version || meta.Format != Format {
+		return fmt.Errorf("%w: %s is %q v%d (this build speaks %q v%d)",
+			ErrCorrupt, l.path, meta.Format, meta.V, Format, Version)
+	}
+	if meta.GridSHA != l.meta.GridSHA || meta.Seed != l.meta.Seed || meta.Points != l.meta.Points {
+		return fmt.Errorf("%w: %s was written for grid %s (seed %d, %d points); "+
+			"this sweep is grid %s (seed %d, %d points) — refusing to mix results across grids",
+			ErrGridMismatch, l.path, meta.GridSHA, meta.Seed, meta.Points,
+			l.meta.GridSHA, l.meta.Seed, l.meta.Points)
+	}
+	// Restore every complete record line; remember where the loadable
+	// prefix ends so a torn tail is truncated away before appending.
+	validLen := nl + 1
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		eol := bytes.IndexByte(rest, '\n')
+		if eol < 0 {
+			// Torn tail from a crash mid-append: discard.
+			break
+		}
+		line := rest[:eol]
+		var res api.Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("%w: %s record at byte %d: %v", ErrCorrupt, l.path, validLen, err)
+		}
+		if res.V != api.Version {
+			return fmt.Errorf("%w: %s record has v=%d (this build speaks v%d)",
+				ErrCorrupt, l.path, res.V, api.Version)
+		}
+		if res.Index < 0 || res.Index >= l.meta.Points {
+			return fmt.Errorf("%w: %s record index %d out of [0, %d)",
+				ErrCorrupt, l.path, res.Index, l.meta.Points)
+		}
+		if _, dup := l.restored[res.Index]; dup {
+			return fmt.Errorf("%w: %s holds point %d twice (two writers?)",
+				ErrCorrupt, l.path, res.Index)
+		}
+		l.restored[res.Index] = res.Sweep()
+		validLen += eol + 1
+		rest = rest[eol+1:]
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("checkpoint: reopen %s: %w", l.path, err)
+	}
+	if err := f.Truncate(int64(validLen)); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: truncate torn tail of %s: %w", l.path, err)
+	}
+	if _, err := f.Seek(int64(validLen), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: seek %s: %w", l.path, err)
+	}
+	l.f = f
+	l.mRestored.Add(uint64(len(l.restored)))
+	return nil
+}
+
+// Restored returns the number of points loaded from the file.
+func (l *Log) Restored() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.restored)
+}
+
+// Points returns the total point count of the bound grid.
+func (l *Log) Points() int { return l.meta.Points }
+
+// GridSHA returns the hex grid hash the checkpoint is bound to.
+func (l *Log) GridSHA() string { return l.meta.GridSHA }
+
+// Path returns the checkpoint file path.
+func (l *Log) Path() string { return l.path }
+
+// Restore implements sweep.Checkpoint.
+func (l *Log) Restore(i int) (sweep.Result, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, ok := l.restored[i]
+	return res, ok
+}
+
+// Commit implements sweep.Checkpoint: one canonical api.Result line
+// appended, with an fsync every flushEvery commits.
+func (l *Log) Commit(r sweep.Result) error {
+	line, err := api.MarshalResult(api.ResultFromSweep(r))
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode point %d: %w", r.Index, err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("checkpoint: commit after Close")
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: append point %d: %w", r.Index, err)
+	}
+	l.mWritten.Inc()
+	l.mBytes.Add(uint64(len(line)))
+	l.sinceSync++
+	if l.flushEvery < 0 || l.sinceSync >= l.flushEvery {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync: %w", err)
+		}
+		l.mSyncs.Inc()
+		l.sinceSync = 0
+	}
+	return nil
+}
+
+// Sync forces any batched appends to durable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.sinceSync == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	l.mSyncs.Inc()
+	l.sinceSync = 0
+	return nil
+}
+
+// Close syncs and closes the file. The Log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	if l.sinceSync > 0 {
+		if err := l.f.Sync(); err != nil {
+			first = fmt.Errorf("checkpoint: sync on close: %w", err)
+		} else {
+			l.mSyncs.Inc()
+		}
+	}
+	if err := l.f.Close(); err != nil && first == nil {
+		first = fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return first
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power
+// loss. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Load reads a checkpoint without binding it to a grid — header plus
+// restored results — for inspection (pwfsweep progress reporting uses
+// the restored count before Run starts). The same torn-tail tolerance
+// as Open applies; the file is not opened for writing.
+func Load(path string) (Meta, []api.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return Meta{}, nil, fmt.Errorf("%w: %s has no complete header line", ErrCorrupt, path)
+	}
+	var meta Meta
+	if err := json.Unmarshal(data[:nl], &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: %s header: %v", ErrCorrupt, path, err)
+	}
+	var out []api.Result
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		eol := bytes.IndexByte(rest, '\n')
+		if eol < 0 {
+			break
+		}
+		var res api.Result
+		if err := json.Unmarshal(rest[:eol], &res); err != nil {
+			return Meta{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		out = append(out, res)
+		rest = rest[eol+1:]
+	}
+	return meta, out, nil
+}

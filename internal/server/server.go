@@ -31,20 +31,40 @@
 //
 // The result store is bounded: finished sweeps are evicted after
 // Config.Retention (default 1 hour); evictions are visible in
-// /metrics as server_sweeps_evicted.
+// /metrics as server_sweeps_evicted. Requests for an evicted id get
+// 410 Gone (code "gone") rather than 404, so a client resuming a
+// result stream by cursor can tell "expired" from "never existed" —
+// the same contract trace tailing uses for truncated logs. The
+// distinction is best-effort across restarts: a fresh process only
+// remembers evictions it performed itself.
+//
+// With Config.CheckpointDir set, accepted sweeps survive restarts:
+// every submission persists its grid (<id>.grid) and every completed
+// point appends to a crash-safe checkpoint (<id>.ckpt, format
+// internal/checkpoint). A restarted server re-enqueues each persisted
+// sweep; its checkpointed points are restored — replayed through the
+// result stream rather than recomputed — so existing cursors remain
+// valid and the streamed bytes are identical to an uninterrupted
+// serve. Eviction deletes both files.
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"pwf/internal/api"
+	"pwf/internal/checkpoint"
 	"pwf/internal/obs"
 	"pwf/internal/sweep"
 )
@@ -75,6 +95,12 @@ type Config struct {
 	// negative disables eviction (the pre-retention behavior).
 	// Evictions are counted by the server_sweeps_evicted metric.
 	Retention time.Duration
+	// CheckpointDir, when non-empty, persists sweep state there so
+	// accepted sweeps survive process restarts: one <id>.grid file per
+	// submission and one <id>.ckpt checkpoint log of its completed
+	// points. A new Server re-enqueues everything the directory holds.
+	// Empty (the default) keeps all state in memory.
+	CheckpointDir string
 	// Registry receives the server's metrics; nil creates a private
 	// registry (exposed at /metrics either way).
 	Registry *obs.Registry
@@ -153,6 +179,7 @@ type Server struct {
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweepState
+	gone       map[string]struct{} // ids evicted by this process: 410, not 404
 	queue      chan *sweepState
 	queuedJobs int // admitted but unfinished jobs, bounded by MaxQueuedJobs
 	nextID     uint64
@@ -161,6 +188,7 @@ type Server struct {
 	gate chan struct{}
 
 	mSweepsAccepted   *obs.Counter
+	mSweepsRestored   *obs.Counter
 	mSweepsEvicted    *obs.Counter
 	mRejectedOverload *obs.Counter
 	mRejectedInvalid  *obs.Counter
@@ -207,12 +235,14 @@ func New(cfg Config) *Server {
 		cancel: cancel,
 		gate:   cfg.gate,
 		sweeps: make(map[string]*sweepState),
+		gone:   make(map[string]struct{}),
 		// Admission bounds total queued jobs at MaxQueuedJobs and every
 		// sweep has >= 1 job, so the queue can never hold more sweeps
 		// than that: sends below never block.
 		queue: make(chan *sweepState, cfg.MaxQueuedJobs),
 
 		mSweepsAccepted:   reg.Counter("server_sweeps_accepted"),
+		mSweepsRestored:   reg.Counter("server_sweeps_restored"),
 		mSweepsEvicted:    reg.Counter("server_sweeps_evicted"),
 		mRejectedOverload: reg.Counter("server_sweeps_rejected_overload"),
 		mRejectedInvalid:  reg.Counter("server_sweeps_rejected_invalid"),
@@ -258,6 +288,9 @@ func New(cfg Config) *Server {
 		})
 	})
 
+	if cfg.CheckpointDir != "" {
+		s.restoreFromDir()
+	}
 	s.wg.Add(1)
 	go s.executor()
 	if cfg.Retention > 0 {
@@ -267,9 +300,114 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// gridPath and ckptPath name a sweep's two persisted files.
+func (s *Server) gridPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".grid")
+}
+func (s *Server) ckptPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
+}
+
+// writeFileAtomic lands data at path via temp file + fsync + rename,
+// so a crash mid-write leaves either the old file or the new one,
+// never a torn prefix.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// restoreFromDir re-enqueues every sweep CheckpointDir holds, in
+// original submission order, and advances the id counter past them.
+// Checkpointed points replay instead of recomputing when the executor
+// reaches each sweep, so a restart is invisible to result bytes and
+// cursors. A grid file that no longer decodes is surfaced as a failed
+// sweep under its id — queryable, evicted on schedule — rather than
+// silently dropped or deleted.
+func (s *Server) restoreFromDir() {
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		return
+	}
+	var ids []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".grid") {
+			ids = append(ids, strings.TrimSuffix(name, ".grid"))
+		}
+	}
+	// Original submission order: ids are s1, s2, ... from the previous
+	// lifetime; numeric order is submission order.
+	sort.Slice(ids, func(i, j int) bool { return idNum(ids[i]) < idNum(ids[j]) })
+	for _, id := range ids {
+		if n := idNum(id); n > s.nextID {
+			s.nextID = n
+		}
+		data, err := os.ReadFile(s.gridPath(id))
+		var grid api.Grid
+		if err == nil {
+			grid, err = api.DecodeGrid(bytes.NewReader(data))
+		}
+		if err != nil {
+			failed := &sweepState{
+				id:     id,
+				status: statusFailed,
+				failure: &api.Error{V: api.Version, Code: api.CodeInternal,
+					Message: fmt.Sprintf("restore: %v", err)},
+				finishedAt: time.Now(),
+				wake:       make(chan struct{}),
+			}
+			s.sweeps[id] = failed
+			continue
+		}
+		st := &sweepState{
+			id:     id,
+			grid:   grid,
+			status: statusQueued,
+			lines:  make([][]byte, len(grid.Jobs)),
+			wake:   make(chan struct{}),
+		}
+		s.sweeps[id] = st
+		s.queuedJobs += len(grid.Jobs)
+		s.mSweepsRestored.Inc()
+		s.queue <- st
+	}
+}
+
+// idNum extracts the numeric part of a sweep id ("s42" -> 42); 0 for
+// foreign names.
+func idNum(id string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64)
+	return n
+}
+
 // janitor periodically evicts finished sweeps older than the
 // retention window. Open result streams keep their *sweepState and
-// drain unaffected; only new lookups of the id see 404.
+// drain unaffected; only new lookups of the id see 410.
 func (s *Server) janitor() {
 	defer s.wg.Done()
 	tick := s.cfg.Retention / 4
@@ -292,10 +430,14 @@ func (s *Server) janitor() {
 }
 
 // evictExpired removes every sweep finished before now-Retention.
+// Evicted ids are remembered (a few bytes each) so later lookups —
+// typically a client resuming a result stream by cursor — get a clean
+// 410 Gone instead of an indistinguishable-from-typo 404; persisted
+// state is deleted alongside the in-memory entry.
 func (s *Server) evictExpired(now time.Time) {
 	cutoff := now.Add(-s.cfg.Retention)
 	s.mu.Lock()
-	var evicted uint64
+	var evicted []string
 	for id, st := range s.sweeps {
 		st.mu.Lock()
 		expired := (st.status == statusDone || st.status == statusFailed) &&
@@ -303,12 +445,19 @@ func (s *Server) evictExpired(now time.Time) {
 		st.mu.Unlock()
 		if expired {
 			delete(s.sweeps, id)
-			evicted++
+			s.gone[id] = struct{}{}
+			evicted = append(evicted, id)
 		}
 	}
 	s.mu.Unlock()
-	if evicted > 0 {
-		s.mSweepsEvicted.Add(evicted)
+	if len(evicted) > 0 {
+		s.mSweepsEvicted.Add(uint64(len(evicted)))
+		if s.cfg.CheckpointDir != "" {
+			for _, id := range evicted {
+				_ = os.Remove(s.gridPath(id))
+				_ = os.Remove(s.ckptPath(id))
+			}
+		}
 	}
 }
 
@@ -411,6 +560,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweeps[st.id] = st
 	s.mu.Unlock()
 
+	// Persist the grid before acking: an id the client holds must
+	// survive a restart. The body already decoded strictly, so the
+	// canonical re-encoding cannot fail in practice.
+	if s.cfg.CheckpointDir != "" {
+		b, err := api.MarshalGrid(grid)
+		if err == nil {
+			err = writeFileAtomic(s.gridPath(st.id), append(b, '\n'))
+		}
+		if err != nil {
+			s.mu.Lock()
+			delete(s.sweeps, st.id)
+			s.queuedJobs -= len(grid.Jobs)
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, api.Error{
+				V: api.Version, Code: api.CodeInternal,
+				Message: fmt.Sprintf("persist grid: %v", err),
+			})
+			return
+		}
+	}
+
 	s.mSweepsAccepted.Inc()
 	s.mJobsCoalesced.Add(uint64(len(grid.Jobs) - distinctFamilies(grid.Jobs)))
 	s.queue <- st
@@ -437,17 +607,28 @@ func distinctFamilies(jobs []api.Job) int {
 	return len(seen)
 }
 
-// lookup returns the sweep for the request's {id}, or writes 404.
+// lookup returns the sweep for the request's {id}. An id this process
+// evicted gets 410 Gone — the sweep existed, completed, and aged out
+// of retention, so a cursor-resuming client should stop retrying
+// rather than suspect a typo'd id (404).
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweepState {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	st := s.sweeps[id]
+	_, wasEvicted := s.gone[id]
 	s.mu.Unlock()
 	if st == nil {
-		writeError(w, http.StatusNotFound, api.Error{
-			V: api.Version, Code: api.CodeNotFound,
-			Message: fmt.Sprintf("no sweep %q", id),
-		})
+		if wasEvicted {
+			writeError(w, http.StatusGone, api.Error{
+				V: api.Version, Code: api.CodeGone,
+				Message: fmt.Sprintf("sweep %q finished and was evicted after the retention window", id),
+			})
+		} else {
+			writeError(w, http.StatusNotFound, api.Error{
+				V: api.Version, Code: api.CodeNotFound,
+				Message: fmt.Sprintf("no sweep %q", id),
+			})
+		}
 	}
 	return st
 }
@@ -602,7 +783,11 @@ func (s *Server) fail(st *sweepState, e api.Error) {
 }
 
 // execute runs one sweep on the deterministic engine, publishing each
-// result line as its job completes.
+// result line as its job completes. With CheckpointDir set, the sweep
+// runs against its crash-safe checkpoint: points a previous process
+// already completed replay through OnResult — repopulating the line
+// store in input order, so cursors issued before the restart stay
+// valid — and new completions are committed before they are streamed.
 func (s *Server) execute(st *sweepState) {
 	st.mu.Lock()
 	st.status = statusRunning
@@ -610,7 +795,7 @@ func (s *Server) execute(st *sweepState) {
 	st.wake = make(chan struct{})
 	st.mu.Unlock()
 
-	_, err := sweep.Run(sweep.Config{
+	cfg := sweep.Config{
 		Jobs:          st.grid.SweepJobs(),
 		Seed:          st.grid.Seed,
 		Workers:       s.cfg.Workers,
@@ -636,10 +821,27 @@ func (s *Server) execute(st *sweepState) {
 			s.mu.Lock()
 			s.queuedJobs--
 			s.mu.Unlock()
-			s.mJobsCompleted.Inc()
-			s.hJobLatency.Observe(uint64(r.Elapsed.Nanoseconds()))
+			// Restored points carry no wall time (the canonical encoding
+			// excludes it); only points this process computed count as
+			// completed work.
+			if r.Elapsed > 0 {
+				s.mJobsCompleted.Inc()
+				s.hJobLatency.Observe(uint64(r.Elapsed.Nanoseconds()))
+			}
 		},
-	})
+	}
+	if s.cfg.CheckpointDir != "" {
+		cp, cerr := checkpoint.Open(s.ckptPath(st.id), cfg, checkpoint.Options{Registry: s.reg})
+		if cerr != nil {
+			s.fail(st, api.Error{V: api.Version, Code: api.CodeInternal,
+				Message: fmt.Sprintf("checkpoint: %v", cerr)})
+			return
+		}
+		defer cp.Close()
+		cfg.Checkpoint = cp
+	}
+
+	_, err := sweep.Run(cfg)
 	if err != nil {
 		s.fail(st, api.Error{V: api.Version, Code: api.CodeInternal, Message: err.Error()})
 		return

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -582,12 +583,15 @@ func TestRetentionEvictsFinishedSweeps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		code := resp.StatusCode
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if code == http.StatusNotFound {
+		if resp.StatusCode == http.StatusGone {
+			e := decodeError(t, resp)
+			if e.Code != api.CodeGone {
+				t.Errorf("evicted sweep error code = %q, want %q", e.Code, api.CodeGone)
+			}
 			break
 		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
 		if time.Now().After(deadline) {
 			t.Fatalf("sweep %s still queryable long past the retention window", id)
 		}
@@ -617,4 +621,189 @@ func TestRetentionEvictsFinishedSweeps(t *testing.T) {
 		t.Error("queued sweep was evicted before finishing")
 	}
 	close(gate)
+}
+
+// A client resuming a result stream by cursor after its sweep aged
+// out of retention gets 410 Gone with the stable "gone" code — it
+// should stop retrying — while a never-issued id stays 404.
+func TestEvictedCursorResumeGets410(t *testing.T) {
+	s, ts := startServer(t, Config{Retention: 30 * time.Millisecond})
+	g := testGrid()
+	id, _ := submit(t, ts, g)
+
+	// Stream part of the results, remembering the cursor.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	cursor := 0
+	for sc.Scan() {
+		cursor++
+		if cursor == 2 {
+			break
+		}
+	}
+	resp.Body.Close()
+
+	// Let the sweep finish and age out.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		_, present := s.sweeps[id]
+		s.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resume, err := http.Get(fmt.Sprintf("%s/v1/sweeps/%s/results?cursor=%d", ts.URL, id, cursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume.StatusCode != http.StatusGone {
+		t.Errorf("cursor resume after eviction: status %d, want %d", resume.StatusCode, http.StatusGone)
+	}
+	e := decodeError(t, resume)
+	if e.Code != api.CodeGone {
+		t.Errorf("code %q, want %q", e.Code, api.CodeGone)
+	}
+
+	// An id that never existed is still a 404: "gone" is a statement
+	// about history, not a catch-all.
+	other, err := http.Get(ts.URL + "/v1/sweeps/s999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want %d", other.StatusCode, http.StatusNotFound)
+	}
+	if e := decodeError(t, other); e.Code != api.CodeNotFound {
+		t.Errorf("unknown id code %q, want %q", e.Code, api.CodeNotFound)
+	}
+}
+
+// With CheckpointDir set, a submitted sweep survives a process
+// restart: a new server over the same directory re-serves the same
+// id, the same result bytes, and honors cursors issued before the
+// restart — without recomputing completed points.
+func TestCheckpointDirPersistsSweepsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := testGrid()
+	want := localLines(t, g)
+
+	reg1 := obs.NewRegistry()
+	s1, ts1 := startServer(t, Config{CheckpointDir: dir, Registry: reg1})
+	id, _ := submit(t, ts1, g)
+
+	// Drain the full stream (sweep done, checkpoint fully written),
+	// but pretend this client only saw the first 2 lines.
+	resp, err := http.Get(ts1.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("pre-restart stream differs from local run:\n%s\nwant:\n%s", first, want)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// "Restart": a fresh server over the same directory.
+	reg2 := obs.NewRegistry()
+	_, ts2 := startServer(t, Config{CheckpointDir: dir, Registry: reg2})
+
+	// The old id resolves, with the same bytes.
+	resp2, err := http.Get(ts2.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restored sweep stream: status %d", resp2.StatusCode)
+	}
+	again, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Errorf("post-restart stream differs from local run")
+	}
+
+	// A cursor issued before the restart resumes with no gaps and no
+	// duplicates.
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	resp3, err := http.Get(ts2.URL + "/v1/sweeps/" + id + "/results?cursor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantTail := bytes.Join(lines[2:], nil); !bytes.Equal(tail, wantTail) {
+		t.Errorf("cursor resume after restart:\n%s\nwant:\n%s", tail, wantTail)
+	}
+
+	// Restored, replayed from the checkpoint — not recomputed.
+	snap := reg2.Snapshot()
+	if snap.Counters["server_sweeps_restored"] != 1 {
+		t.Errorf("server_sweeps_restored = %d, want 1", snap.Counters["server_sweeps_restored"])
+	}
+	if c := snap.Counters["server_jobs_completed"]; c != 0 {
+		t.Errorf("restart recomputed %d jobs; want 0 (checkpoint replay)", c)
+	}
+	if c := snap.Counters["checkpoint_points_restored"]; c != uint64(len(g.Jobs)) {
+		t.Errorf("checkpoint_points_restored = %d, want %d", c, len(g.Jobs))
+	}
+
+	// New submissions on the restarted server do not collide with
+	// restored ids.
+	id2, _ := submit(t, ts2, g)
+	if id2 == id {
+		t.Errorf("restarted server reissued id %q", id)
+	}
+}
+
+// Eviction under CheckpointDir deletes the persisted files, so a
+// restart does not resurrect expired sweeps.
+func TestEvictionRemovesPersistedState(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := startServer(t, Config{CheckpointDir: dir, Retention: 30 * time.Millisecond})
+	g := testGrid()
+	id, _ := submit(t, ts, g)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		_, present := s.sweeps[id]
+		s.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, path := range []string{s.gridPath(id), s.ckptPath(id)} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s still exists after eviction (stat err: %v)", path, err)
+		}
+	}
 }

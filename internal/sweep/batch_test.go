@@ -256,7 +256,7 @@ func TestFamilyKeyDistinguishesParameters(t *testing.T) {
 	a, b := base, variants[0](base)
 	cfg := Config{Jobs: []Job{a, b, a, b, a, b}, ReplicaBatch: 8}
 	points := expandPoints(cfg)
-	for _, grp := range dispatchGroups(cfg, points) {
+	for _, grp := range dispatchGroups(cfg, points, nil) {
 		for _, i := range grp[1:] {
 			if shapeKey(points[i]) != shapeKey(points[grp[0]]) {
 				t.Fatalf("group %v mixes shapes", grp)

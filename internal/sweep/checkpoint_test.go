@@ -1,0 +1,323 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// memCheckpoint is an in-memory sweep.Checkpoint for engine-level
+// tests; the file-backed implementation lives in internal/checkpoint.
+type memCheckpoint struct {
+	mu        sync.Mutex
+	points    map[int]Result
+	commits   int
+	commitErr error
+}
+
+func newMemCheckpoint() *memCheckpoint {
+	return &memCheckpoint{points: map[int]Result{}}
+}
+
+func (m *memCheckpoint) Restore(i int) (Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.points[i]
+	return r, ok
+}
+
+func (m *memCheckpoint) Commit(r Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.commitErr != nil {
+		return m.commitErr
+	}
+	m.commits++
+	m.points[r.Index] = r
+	return nil
+}
+
+// A sweep resumed from a partial checkpoint recomputes only the
+// missing points and reproduces the uninterrupted run exactly.
+func TestSweepCheckpointResumeIsByteIdentical(t *testing.T) {
+	jobs := smallGrid()
+	full, err := Run(Config{Jobs: jobs, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash after an arbitrary subset completed: seed the
+	// checkpoint with points 0, 2, and 4 only.
+	cp := newMemCheckpoint()
+	for _, i := range []int{0, 2, 4} {
+		cp.points[i] = full[i]
+	}
+	resumed, err := Run(Config{Jobs: jobs, Seed: 9, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(full), stripElapsed(resumed)) {
+		t.Error("resumed sweep differs from uninterrupted run")
+	}
+	if cp.commits != len(jobs)-3 {
+		t.Errorf("resume committed %d points, want %d (restored points must not recommit)",
+			cp.commits, len(jobs)-3)
+	}
+	if len(cp.points) != len(jobs) {
+		t.Errorf("checkpoint holds %d of %d points after resume", len(cp.points), len(jobs))
+	}
+}
+
+// Restored points replay through OnResult in input order before any
+// new execution, and the first Progress call counts them as done.
+func TestSweepCheckpointReplaysRestoredThroughCallbacks(t *testing.T) {
+	jobs := smallGrid()
+	full, err := Run(Config{Jobs: jobs, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := newMemCheckpoint()
+	cp.points[1] = full[1]
+	cp.points[3] = full[3]
+
+	var order []int
+	var firstProgress int
+	_, err = Run(Config{
+		Jobs: jobs, Seed: 11, Workers: 1, Checkpoint: cp,
+		OnResult: func(r Result) { order = append(order, r.Index) },
+		Progress: func(done, total int) {
+			if firstProgress == 0 {
+				firstProgress = done
+			}
+			if total != len(jobs) {
+				t.Errorf("Progress total = %d, want %d", total, len(jobs))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(jobs) {
+		t.Fatalf("OnResult saw %d results for %d points", len(order), len(jobs))
+	}
+	if order[0] != 1 || order[1] != 3 {
+		t.Errorf("restored points replayed as %v, want prefix [1 3]", order[:2])
+	}
+	if firstProgress != 2 {
+		t.Errorf("first Progress reported %d done, want 2 (the restored count)", firstProgress)
+	}
+}
+
+// A checkpoint that already holds every point short-circuits: no new
+// execution, full results.
+func TestSweepCheckpointFullyRestored(t *testing.T) {
+	jobs := smallGrid()
+	full, err := Run(Config{Jobs: jobs, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := newMemCheckpoint()
+	for i, r := range full {
+		cp.points[i] = r
+	}
+	resumed, err := Run(Config{Jobs: jobs, Seed: 13, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.commits != 0 {
+		t.Errorf("fully restored sweep committed %d points", cp.commits)
+	}
+	if !reflect.DeepEqual(stripElapsed(full), stripElapsed(resumed)) {
+		t.Error("fully restored sweep differs from original results")
+	}
+}
+
+// A failing Commit fails the sweep: a run that cannot record progress
+// must not pretend to be resumable.
+func TestSweepCheckpointCommitErrorFailsSweep(t *testing.T) {
+	cp := newMemCheckpoint()
+	cp.commitErr = errors.New("disk full")
+	_, err := Run(Config{Jobs: smallGrid(), Seed: 1, Checkpoint: cp})
+	if err == nil {
+		t.Fatal("sweep with failing checkpoint commit returned nil error")
+	}
+	if !errors.Is(err, cp.commitErr) {
+		t.Errorf("error %v does not wrap the commit error", err)
+	}
+}
+
+// Cancellation returns the ErrCanceled sentinel wrapping the
+// context's error, with partial results: every point whose OnResult
+// fired is present, unstarted points are zero.
+func TestSweepCancelReturnsSentinelWithPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = Job{Workload: Workload{Kind: FetchInc}, N: 4, Steps: 100000}
+	}
+	var mu sync.Mutex
+	delivered := map[int]bool{}
+	results, err := Run(Config{
+		Jobs: jobs, Seed: 2, Workers: 2,
+		OnResult: func(r Result) {
+			mu.Lock()
+			delivered[r.Index] = true
+			if len(delivered) == 1 {
+				cancel()
+			}
+			mu.Unlock()
+		},
+		Context: ctx,
+	})
+	if err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error %v does not match ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(delivered) == len(jobs) {
+		t.Error("cancellation did not stop the sweep early")
+	}
+	// Partial results: delivered points carry their values (the
+	// FetchInc workload always completes operations over 100k steps),
+	// undelivered points are zero.
+	for i, r := range results {
+		if delivered[i] && r.Latencies.Completions == 0 {
+			t.Errorf("delivered point %d has zero result", i)
+		}
+		if !delivered[i] && r.Latencies.Completions != 0 {
+			t.Errorf("undelivered point %d has non-zero result", i)
+		}
+	}
+}
+
+// A sweep canceled mid-run leaves its checkpoint holding exactly the
+// completed points, and resuming it reproduces the full run.
+func TestSweepCancelThenResumeViaCheckpoint(t *testing.T) {
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{Workload: Workload{Kind: FetchInc}, N: 3, Steps: 50000}
+	}
+	full, err := Run(Config{Jobs: jobs, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cp := newMemCheckpoint()
+	n := 0
+	_, err = Run(Config{
+		Jobs: jobs, Seed: 21, Workers: 2, Checkpoint: cp,
+		OnResult: func(Result) {
+			n++
+			if n == 5 {
+				cancel()
+			}
+		},
+		Context: ctx,
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("expected ErrCanceled, got %v", err)
+	}
+	if len(cp.points) == 0 || len(cp.points) == len(jobs) {
+		t.Fatalf("checkpoint holds %d of %d points; want a strict partial", len(cp.points), len(jobs))
+	}
+
+	resumed, err := Run(Config{Jobs: jobs, Seed: 21, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(full), stripElapsed(resumed)) {
+		t.Error("canceled-then-resumed sweep differs from uninterrupted run")
+	}
+}
+
+// Regression: a panicking callback must not leave the queue marked
+// draining — that would silently swallow every later callback. The
+// panic propagates to the drainer; the queue keeps working afterward.
+func TestCbQueuePanicDoesNotSwallowLaterCallbacks(t *testing.T) {
+	var q cbQueue
+	q.enqueue(func() { panic("callback exploded") })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("drain swallowed the callback panic instead of propagating it")
+			}
+		}()
+		q.drain()
+	}()
+
+	ran := false
+	q.enqueue(func() { ran = true })
+	q.drain()
+	if !ran {
+		t.Error("callback after a panic never ran: drain state was left locked")
+	}
+}
+
+// The panic inside a sweep callback propagates out of Run's worker;
+// this documents (rather than hides) the failure mode. We exercise it
+// via the queue directly above; here we pin that Progress and OnResult
+// deliveries continue for callbacks that do not panic even when
+// enqueued concurrently with a drain.
+func TestCbQueueConcurrentEnqueueDrain(t *testing.T) {
+	var q cbQueue
+	var mu sync.Mutex
+	seen := 0
+	const total = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				q.enqueue(func() {
+					mu.Lock()
+					seen++
+					mu.Unlock()
+				})
+				q.drain()
+			}
+		}()
+	}
+	wg.Wait()
+	q.drain()
+	if seen != total {
+		t.Errorf("saw %d of %d callbacks", seen, total)
+	}
+}
+
+// Checkpoints compose with family batching and replica batching: the
+// restored subset is skipped and the rest still batches.
+func TestSweepCheckpointWithBatching(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, Job{
+			Workload: Workload{Kind: FetchInc}, N: 3, Steps: 20000,
+			Label: fmt.Sprintf("seed%d", i),
+		})
+	}
+	full, err := Run(Config{Jobs: jobs, Seed: 31, BatchFamilies: true, ReplicaBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := newMemCheckpoint()
+	for _, i := range []int{0, 1, 5, 7, 11} {
+		cp.points[i] = full[i]
+	}
+	resumed, err := Run(Config{
+		Jobs: jobs, Seed: 31, BatchFamilies: true, ReplicaBatch: 4, Checkpoint: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(full), stripElapsed(resumed)) {
+		t.Error("batched resume differs from uninterrupted batched run")
+	}
+}

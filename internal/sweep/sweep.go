@@ -152,6 +152,31 @@ type Result struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// ErrCanceled marks a sweep stopped by Config.Context before every
+// point completed. Run returns it (wrapping the context's own error,
+// so errors.Is matches both) alongside the partial results. Match with
+// errors.Is to distinguish cancellation from job failure, which
+// returns nil results.
+var ErrCanceled = errors.New("sweep: canceled")
+
+// Checkpoint is the crash-safe resume state of a sweep: Run consults
+// it once per point before dispatch and records every newly completed
+// point through it. Implementations must be safe for concurrent Commit
+// calls from multiple workers. The file-backed implementation — an
+// append-only log under a header binding the grid hash and master
+// seed — lives in internal/checkpoint; binding checkpoints to the
+// right grid is the opener's job, not Run's.
+type Checkpoint interface {
+	// Restore returns the completed result for point index i, if the
+	// checkpoint holds one. Restored points are not re-executed and
+	// not re-committed.
+	Restore(i int) (Result, bool)
+	// Commit durably records one newly completed point. An error fails
+	// the sweep: a run that cannot record its progress must not
+	// pretend to be resumable.
+	Commit(Result) error
+}
+
 // Config describes a sweep.
 type Config struct {
 	// Jobs is the grid, executed logically in order; results are
@@ -195,11 +220,24 @@ type Config struct {
 	// Calls are serialized but arrive in completion order, not input
 	// order; use Result.Index to reorder.
 	OnResult func(Result)
-	// Context, when non-nil, cancels the sweep at the next job
-	// boundary: no further jobs start, in-flight jobs finish, and Run
-	// returns the context's error alongside the partial results
-	// (completed entries keep their values; unstarted ones are zero).
+	// Context, when non-nil, cancels the sweep at the next dispatch
+	// boundary: no further point groups start, groups already handed
+	// to a worker run to completion (at most one per worker), and Run
+	// returns ErrCanceled wrapping the context's error alongside the
+	// partial results (completed entries keep their values; unstarted
+	// ones are zero). Cancellation is only observed while points
+	// remain to dispatch: a sweep whose every point was already handed
+	// out completes normally and returns nil.
 	Context context.Context
+	// Checkpoint, when non-nil, makes the sweep resumable: points the
+	// checkpoint already holds are restored instead of executed —
+	// replayed through OnResult in input order before any new
+	// execution, counted as done by the first Progress call — and each
+	// newly completed point is committed before its callbacks fire.
+	// Because point i always draws from rng.Stream(Seed, i), a resumed
+	// sweep's results are byte-identical (in canonical encoding, which
+	// excludes wall time) to an uninterrupted run of the same grid.
+	Checkpoint Checkpoint
 	// Recorder, when non-nil, receives per-job lifecycle events
 	// (obs.KindJobStart/KindJobEnd) and the step-level telemetry of
 	// every job that does not set its own Job.Recorder. It must be
@@ -236,6 +274,14 @@ func expandPoints(cfg Config) []Job {
 	return points
 }
 
+// Points returns the expanded point list of a configuration — job i
+// with sweep-level overrides applied, repeated max(1, Replicas) times.
+// This layout is the grid's identity: point p draws its seed from
+// rng.Stream(Seed, p) and checkpoint records are keyed by point
+// index, so the checkpoint layer binds resume state to a hash of
+// exactly this expansion.
+func Points(cfg Config) []Job { return expandPoints(cfg) }
+
 // familyKey renders everything that determines which code paths and
 // ChainCache entries a job exercises: the full workload and scheduler
 // parameterization (not just the kinds — two weighted schedulers with
@@ -256,13 +302,17 @@ func shapeKey(j Job) string {
 
 // dispatchGroups returns the units of work handed to workers: point
 // index groups, each either a singleton (scalar execution) or a run
-// of same-shape batchable points (one BatchSim). With BatchFamilies
-// or ReplicaBatch the order groups same-family points adjacently
-// (stable, so relative input order is kept); otherwise input order.
-func dispatchGroups(cfg Config, points []Job) [][]int {
-	order := make([]int, len(points))
-	for i := range order {
-		order[i] = i
+// of same-shape batchable points (one BatchSim). Points marked in
+// skip (checkpoint-restored; nil means none) are not dispatched at
+// all. With BatchFamilies or ReplicaBatch the order groups
+// same-family points adjacently (stable, so relative input order is
+// kept); otherwise input order.
+func dispatchGroups(cfg Config, points []Job, skip []bool) [][]int {
+	order := make([]int, 0, len(points))
+	for i := range points {
+		if skip == nil || !skip[i] {
+			order = append(order, i)
+		}
 	}
 	width := cfg.ReplicaBatch
 	var keys []string
@@ -319,11 +369,30 @@ func (q *cbQueue) drain() {
 		fn := q.pending[0]
 		q.pending = q.pending[1:]
 		q.mu.Unlock()
-		fn()
+		q.call(fn)
 		q.mu.Lock()
 	}
 	q.draining = false
 	q.mu.Unlock()
+}
+
+// call invokes one callback. A panicking callback must not leave the
+// queue marked draining — that would silently swallow every later
+// callback — so the panic is caught, the drain lock released, and the
+// panic re-raised to the calling worker. Callbacks still queued when a
+// callback panics are delivered by the next drain (normally the next
+// point's finish); the panic itself propagates out of Run's worker
+// unless the caller recovers it.
+func (q *cbQueue) call(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.mu.Lock()
+			q.draining = false
+			q.mu.Unlock()
+			panic(r)
+		}
+	}()
+	fn()
 }
 
 // Run executes the sweep and returns one result per point — one per
@@ -349,13 +418,6 @@ func Run(cfg Config) ([]Result, error) {
 	}
 	points := expandPoints(cfg)
 	total := len(points)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
 	cache := cfg.Cache
 	if cache == nil {
 		cache = DefaultCache
@@ -367,16 +429,62 @@ func Run(cfg Config) ([]Result, error) {
 
 	results := make([]Result, total)
 	errs := make([]error, total)
+
+	// Restore checkpointed points before anything executes: they keep
+	// their recorded values, skip dispatch entirely, replay through
+	// OnResult in input order (so a streaming consumer sees the full
+	// stream exactly once), and count as done for Progress.
+	var restored []bool
+	nrestored := 0
+	if cfg.Checkpoint != nil {
+		restored = make([]bool, total)
+		for i := range points {
+			res, ok := cfg.Checkpoint.Restore(i)
+			if !ok {
+				continue
+			}
+			res.Index = i
+			results[i] = res
+			restored[i] = true
+			nrestored++
+		}
+		if cfg.OnResult != nil {
+			for i := range points {
+				if restored[i] {
+					cfg.OnResult(results[i])
+				}
+			}
+		}
+		if cfg.Progress != nil && nrestored > 0 {
+			cfg.Progress(nrestored, total)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total-nrestored {
+		workers = total - nrestored
+	}
+
 	var (
 		mu   sync.Mutex
-		done int
+		done = nrestored
 		fail bool
 
 		resultQ, progressQ cbQueue
 	)
-	// finish publishes one point's outcome: bookkeeping under mu,
-	// callbacks through their queues (never under mu — see cbQueue).
+	// finish publishes one point's outcome: the checkpoint commit
+	// first (a completed point that cannot be recorded fails, not
+	// lies), bookkeeping under mu, callbacks through their queues
+	// (never under mu — see cbQueue).
 	finish := func(i int, res Result, err error) {
+		if err == nil && cfg.Checkpoint != nil {
+			if cerr := cfg.Checkpoint.Commit(res); cerr != nil {
+				err = fmt.Errorf("checkpoint commit: %w", cerr)
+			}
+		}
 		results[i], errs[i] = res, err
 		mu.Lock()
 		done++
@@ -448,7 +556,7 @@ func Run(cfg Config) ([]Result, error) {
 	}
 	canceled := false
 feed:
-	for _, grp := range dispatchGroups(cfg, points) {
+	for _, grp := range dispatchGroups(cfg, points, restored) {
 		select {
 		case idx <- grp:
 		case <-ctxDone:
@@ -465,7 +573,7 @@ feed:
 	close(idx)
 	wg.Wait()
 	if canceled {
-		return results, fmt.Errorf("sweep: canceled: %w", cfg.Context.Err())
+		return results, fmt.Errorf("%w: %w", ErrCanceled, cfg.Context.Err())
 	}
 	for i, err := range errs {
 		if err != nil {

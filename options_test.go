@@ -31,6 +31,7 @@ var optionScopes = []struct {
 	{pwf.WithProgress(nil), false, true},
 	{pwf.WithFamilyBatching(), false, true},
 	{pwf.WithReplicaBatching(8), false, true},
+	{pwf.WithCheckpoint(nil), false, true},
 }
 
 // Every Run option must have a sweep counterpart or a documented

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pwf/internal/checkpoint"
 	"pwf/internal/obs"
 	"pwf/internal/sweep"
 )
@@ -324,6 +325,63 @@ func WithReplicaBatching(width int) Option {
 	}
 }
 
+// ErrSweepCanceled marks a sweep stopped by SweepConfig.Context
+// before every point completed. RunSweep returns it wrapping the
+// context's own error alongside the partial results; match with
+// errors.Is to distinguish cancellation (partial results, non-nil
+// error) from job failure (nil results, non-nil error).
+var ErrSweepCanceled = sweep.ErrCanceled
+
+// Checkpoint is the resume state a sweep consults before dispatch and
+// records completed points through; see SweepConfig.Checkpoint and
+// WithCheckpoint. CheckpointLog is the crash-safe file-backed
+// implementation.
+type Checkpoint = sweep.Checkpoint
+
+// CheckpointLog is a file-backed Checkpoint: an append-only,
+// fsync-batched log of completed points in the canonical wire
+// encoding, bound to one grid and master seed by a SHA-256 header. A
+// SIGKILL at any byte leaves a loadable prefix; reopening restores
+// every completed point and a resumed sweep's canonical results are
+// byte-identical to an uninterrupted run. Close it after RunSweep
+// returns.
+type CheckpointLog = checkpoint.Log
+
+// ErrCheckpointMismatch marks an existing checkpoint file that was
+// written for a different grid or master seed than the sweep being
+// resumed; OpenCheckpoint refuses it rather than mixing results
+// across grids. Match with errors.Is.
+var ErrCheckpointMismatch = checkpoint.ErrGridMismatch
+
+// OpenCheckpoint creates (or, when the file exists, loads and
+// validates) the checkpoint for cfg's grid at path. The grid identity
+// — expanded points plus master seed — must match an existing file
+// exactly (ErrCheckpointMismatch otherwise). Pass the result through
+// WithCheckpoint:
+//
+//	cp, err := pwf.OpenCheckpoint("grid.ckpt", cfg)
+//	...
+//	results, err := pwf.RunSweep(cfg, pwf.WithCheckpoint(cp))
+//	cp.Close()
+func OpenCheckpoint(path string, cfg SweepConfig) (*CheckpointLog, error) {
+	return checkpoint.Open(path, cfg, checkpoint.Options{})
+}
+
+// WithCheckpoint makes the sweep resumable through cp: points the
+// checkpoint already holds are restored instead of executed (replayed
+// through OnResult in input order first), and every newly completed
+// point is committed before its callbacks fire. Because point i
+// always draws from stream (seed, i), a resumed sweep's canonical
+// results are byte-identical to an uninterrupted run. Sweep-only: Run
+// executes exactly one job, so there is no partial grid to resume.
+func WithCheckpoint(cp Checkpoint) Option {
+	return Option{
+		name:      "WithCheckpoint",
+		sweep:     func(c *SweepConfig) { c.Checkpoint = cp },
+		scopeNote: "Run executes exactly one job, so there is no partial grid to resume",
+	}
+}
+
 // NewRunConfig returns the configuration for measuring workload w with
 // n processes under the defaults: uniform scheduler, DefaultSteps
 // steps, DefaultWarmupFraction warmup, DefaultSeed seed. Only the
@@ -395,8 +453,8 @@ type SweepResult = sweep.Result
 // SweepConfig describes a sweep: a job grid, a master seed, and
 // optional worker-pool bound, chain cache, warmup override, family
 // batching, progress and per-result callbacks, cancellation context,
-// and recorder. Most fields are settable through the same With*
-// options Run takes.
+// checkpoint, and recorder. Most fields are settable through the same
+// With* options Run takes.
 type SweepConfig = sweep.Config
 
 // RunSweep executes a grid of independent jobs on a worker pool sized
