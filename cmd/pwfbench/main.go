@@ -11,7 +11,10 @@
 //   - the end-to-end simulated steps per second of a sweep job at the
 //     same process counts, on the scalar path and through the
 //     replica-batched core, which is what the ROADMAP's "as fast as
-//     the hardware allows" goal is scored on (BENCH_sweep.json); and
+//     the hardware allows" goal is scored on (BENCH_sweep.json). The
+//     -workloads flag selects which batchable kinds are measured; the
+//     pointer-based kinds (stack, queue, rcu, unbounded, lfuniversal)
+//     are capped at n <= 1024 to keep the grid affordable; and
 //   - the trace pipeline: per-event encode/decode cost, bytes per
 //     event, and end-to-end traced throughput of one uniform run
 //     (-tracen processes, -tracesteps steps) in every trace format —
@@ -163,6 +166,7 @@ func run(args []string, out io.Writer) error {
 		reps       = fs.Int("reps", 3, "repetitions per timing; the minimum is kept")
 		width      = fs.Int("width", 16, "replica-batch width for the batched sweep timings")
 		scheds     = fs.String("scheds", "uniform,lottery", "comma-separated scheduler specs for end-to-end sweeps, in the shared grammar (e.g. uniform, sticky:0.9, weighted, phased:1,3@500/1,1@500)")
+		workloads  = fs.String("workloads", "scu,stack,queue,rcu,unbounded,lfuniversal", "comma-separated workloads for end-to-end sweeps (subset of scu, stack, queue, rcu, unbounded, lfuniversal)")
 		traceN     = fs.Int("tracen", 1024, "process count for the trace-format timings")
 		traceSteps = fs.Uint64("tracesteps", 1000000, "steps for the trace-format timings")
 		checkPath  = fs.String("check", "", "comma-separated baseline files (BENCH_sweep.json and/or BENCH_trace.json) to compare measured rows against; fail on regression")
@@ -188,6 +192,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	wls, err := parseWorkloads(*workloads)
+	if err != nil {
+		return err
+	}
 
 	rep := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -207,7 +215,7 @@ func run(args []string, out io.Writer) error {
 		rep.Draw = append(rep.Draw, res...)
 	}
 	for _, n := range ns {
-		res, err := measureSweeps(n, *steps, *reps, *width, specs)
+		res, err := measureSweeps(n, *steps, *reps, *width, specs, wls)
 		if err != nil {
 			return err
 		}
@@ -303,13 +311,13 @@ func checkRegression(path string, cur Report, tolerance float64) error {
 		}
 		if b.ScalarNsPerStep > 0 && r.ScalarNsPerStep > b.ScalarNsPerStep*(1+tolerance) {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s n=%d scalar: %.2f ns/step vs baseline %.2f",
-				r.Sched, r.N, r.ScalarNsPerStep, b.ScalarNsPerStep))
+				"%s %s n=%d scalar: %.2f ns/step vs baseline %.2f",
+				r.Sched, r.Workload, r.N, r.ScalarNsPerStep, b.ScalarNsPerStep))
 		}
 		if b.BatchNsPerStep > 0 && r.BatchNsPerStep > b.BatchNsPerStep*(1+tolerance) {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s n=%d batch: %.2f ns/step vs baseline %.2f",
-				r.Sched, r.N, r.BatchNsPerStep, b.BatchNsPerStep))
+				"%s %s n=%d batch: %.2f ns/step vs baseline %.2f",
+				r.Sched, r.Workload, r.N, r.BatchNsPerStep, b.BatchNsPerStep))
 		}
 	}
 	traceKey := func(r TraceResult) string {
@@ -556,58 +564,120 @@ func measureDraws(n, draws, reps int) ([]DrawResult, error) {
 	return out, nil
 }
 
-func measureSweeps(n int, steps uint64, reps, width int, specs []sweep.SchedulerSpec) ([]SweepResult, error) {
+// benchWorkload is one -workloads entry: the name used in rows and in
+// the flag, the canonical parameterization, and the largest n it is
+// measured at (0 = unlimited). The pointer-based kinds are capped at
+// 1024 because their scalar reference runs are the slow side of the
+// comparison and the 4096 column would dominate the whole benchmark's
+// wall time without changing the verdict.
+type benchWorkload struct {
+	name string
+	w    sweep.Workload
+	maxN int
+}
+
+// benchWorkloadCatalog lists every batchable kind the sweep benchmark
+// knows, in row order.
+var benchWorkloadCatalog = []benchWorkload{
+	{"scu", sweep.Workload{Kind: sweep.SCU, S: 1}, 0},
+	{"stack", sweep.Workload{Kind: sweep.Stack}, 1024},
+	{"queue", sweep.Workload{Kind: sweep.Queue}, 1024},
+	{"rcu", sweep.Workload{Kind: sweep.RCU}, 1024},
+	{"unbounded", sweep.Workload{Kind: sweep.Unbounded}, 1024},
+	{"lfuniversal", sweep.Workload{Kind: sweep.LFUniversal}, 1024},
+}
+
+// parseWorkloads resolves the -workloads list against the catalogue,
+// keeping catalogue order so the emitted rows are stable regardless of
+// how the flag orders its entries.
+func parseWorkloads(s string) ([]benchWorkload, error) {
+	want := map[string]bool{}
+	for _, f := range strings.Split(s, ",") {
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, bw := range benchWorkloadCatalog {
+			if bw.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown -workloads entry %q (have: scu, stack, queue, rcu, unbounded, lfuniversal)", name)
+		}
+		want[name] = true
+	}
+	var out []benchWorkload
+	for _, bw := range benchWorkloadCatalog {
+		if want[bw.name] {
+			out = append(out, bw)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workloads list")
+	}
+	return out, nil
+}
+
+func measureSweeps(n int, steps uint64, reps, width int, specs []sweep.SchedulerSpec, wls []benchWorkload) ([]SweepResult, error) {
 	var out []SweepResult
-	for _, spec := range specs {
-		job := sweep.Job{
-			Workload: sweep.Workload{Kind: sweep.SCU, S: 1},
-			N:        n,
-			Sched:    spec,
-			Steps:    steps,
-			Crash:    1,
+	for _, bw := range wls {
+		if bw.maxN > 0 && n > bw.maxN {
+			continue
 		}
-		scalar := time.Duration(0)
-		for r := 0; r < reps; r++ {
-			start := time.Now()
-			if _, err := sweep.RunJob(job, 1, nil); err != nil {
-				return nil, fmt.Errorf("sweep %s n=%d: %w", spec.Kind, n, err)
+		for _, spec := range specs {
+			job := sweep.Job{
+				Workload: bw.w,
+				N:        n,
+				Sched:    spec,
+				Steps:    steps,
+				Crash:    1,
 			}
-			if d := time.Since(start); r == 0 || d < scalar {
-				scalar = d
+			scalar := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := sweep.RunJob(job, 1, nil); err != nil {
+					return nil, fmt.Errorf("sweep %s/%s n=%d: %w", bw.name, spec.Kind, n, err)
+				}
+				if d := time.Since(start); r == 0 || d < scalar {
+					scalar = d
+				}
 			}
+			batchJob := job
+			batchJob.Replicas = width
+			cfg := sweep.Config{
+				Jobs:         []sweep.Job{batchJob},
+				Seed:         1,
+				Workers:      1,
+				ReplicaBatch: width,
+			}
+			batch := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := sweep.Run(cfg); err != nil {
+					return nil, fmt.Errorf("batched sweep %s/%s n=%d: %w", bw.name, spec.Kind, n, err)
+				}
+				if d := time.Since(start); r == 0 || d < batch {
+					batch = d
+				}
+			}
+			scalarNs := float64(scalar.Nanoseconds()) / float64(steps)
+			batchNs := float64(batch.Nanoseconds()) / (float64(steps) * float64(width))
+			out = append(out, SweepResult{
+				Sched:             spec.String(),
+				Workload:          bw.name,
+				N:                 n,
+				Steps:             steps,
+				ScalarNsPerStep:   scalarNs,
+				ScalarStepsPerSec: float64(steps) / scalar.Seconds(),
+				BatchWidth:        width,
+				BatchNsPerStep:    batchNs,
+				BatchStepsPerSec:  float64(steps) * float64(width) / batch.Seconds(),
+				BatchSpeedup:      scalarNs / batchNs,
+			})
 		}
-		batchJob := job
-		batchJob.Replicas = width
-		cfg := sweep.Config{
-			Jobs:         []sweep.Job{batchJob},
-			Seed:         1,
-			Workers:      1,
-			ReplicaBatch: width,
-		}
-		batch := time.Duration(0)
-		for r := 0; r < reps; r++ {
-			start := time.Now()
-			if _, err := sweep.Run(cfg); err != nil {
-				return nil, fmt.Errorf("batched sweep %s n=%d: %w", spec.Kind, n, err)
-			}
-			if d := time.Since(start); r == 0 || d < batch {
-				batch = d
-			}
-		}
-		scalarNs := float64(scalar.Nanoseconds()) / float64(steps)
-		batchNs := float64(batch.Nanoseconds()) / (float64(steps) * float64(width))
-		out = append(out, SweepResult{
-			Sched:             spec.String(),
-			Workload:          string(sweep.SCU),
-			N:                 n,
-			Steps:             steps,
-			ScalarNsPerStep:   scalarNs,
-			ScalarStepsPerSec: float64(steps) / scalar.Seconds(),
-			BatchWidth:        width,
-			BatchNsPerStep:    batchNs,
-			BatchStepsPerSec:  float64(steps) * float64(width) / batch.Seconds(),
-			BatchSpeedup:      scalarNs / batchNs,
-		})
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,9 +39,18 @@ func TestRunEmitsValidReport(t *testing.T) {
 			t.Errorf("%s/%s: missing speedup", d.Sched, d.Impl)
 		}
 	}
-	// 2 scheduler kinds at one n.
-	if len(rep.Sweep) != 2 {
-		t.Errorf("got %d sweep rows, want 2", len(rep.Sweep))
+	// 6 workloads x 2 scheduler kinds at one n.
+	if len(rep.Sweep) != 12 {
+		t.Errorf("got %d sweep rows, want 12", len(rep.Sweep))
+	}
+	perWorkload := map[string]int{}
+	for _, s := range rep.Sweep {
+		perWorkload[s.Workload]++
+	}
+	for _, bw := range benchWorkloadCatalog {
+		if perWorkload[bw.name] != 2 {
+			t.Errorf("workload %s: %d sweep rows, want 2", bw.name, perWorkload[bw.name])
+		}
 	}
 	for _, s := range rep.Sweep {
 		if s.ScalarStepsPerSec <= 0 || s.ScalarNsPerStep <= 0 {
@@ -215,10 +225,40 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-n", "16", "-scheds", ""},
 		{"-n", "16", "-scheds", "bogus"},
 		{"-n", "16", "-scheds", "sticky:1.5"},
+		{"-n", "16", "-workloads", ""},
+		{"-n", "16", "-workloads", "bogus"},
+		{"-n", "16", "-workloads", "scu,list"},
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("args %v: nil error", args)
 		}
+	}
+}
+
+// -workloads filters the sweep grid, keeps catalogue row order
+// regardless of flag order, and the pointer-based kinds stay capped at
+// n <= 1024 while scu covers the full -n list.
+func TestRunWorkloadsFlagFiltersAndCaps(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "16,2048", "-draws", "100", "-steps", "20000", "-reps", "1", "-width", "2",
+		"-tracen", "16", "-tracesteps", "200",
+		"-scheds", "uniform", "-workloads", "stack,scu",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var got []string
+	for _, s := range rep.Sweep {
+		got = append(got, fmt.Sprintf("%s/%d", s.Workload, s.N))
+	}
+	want := []string{"scu/16", "stack/16", "scu/2048"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("sweep rows %v, want %v", got, want)
 	}
 }
 
@@ -229,7 +269,7 @@ func TestRunSchedsFlagUsesSharedGrammar(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
 		"-n", "16", "-draws", "100", "-steps", "500", "-reps", "1", "-width", "2",
-		"-tracen", "16", "-tracesteps", "200",
+		"-tracen", "16", "-tracesteps", "200", "-workloads", "scu",
 		"-scheds", "sticky:0.5, lottery:" + strings.Repeat("1,", 15) + "2",
 	}, &buf)
 	if err != nil {

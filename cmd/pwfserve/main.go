@@ -112,6 +112,9 @@ func start(args []string, errOut io.Writer) (*instance, error) {
 		CheckpointDir: *ckptDir,
 		Registry:      obs.Default,
 		Cache:         sweep.DefaultCache,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(errOut, "pwfserve: "+format+"\n", args...)
+		},
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

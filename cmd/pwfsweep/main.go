@@ -72,19 +72,21 @@ func main() {
 // defaultAlgos maps the -algos names onto their canonical paper
 // parameterizations.
 var workloadByName = map[string]pwf.Workload{
-	"scu":       pwf.SCUWorkload(0, 1),
-	"fetchinc":  pwf.FetchIncWorkload(),
-	"parallel":  pwf.ParallelWorkload(1),
-	"unbounded": pwf.UnboundedWorkload(0),
-	"stack":     pwf.StackWorkload(),
-	"queue":     pwf.QueueWorkload(),
+	"scu":         pwf.SCUWorkload(0, 1),
+	"fetchinc":    pwf.FetchIncWorkload(),
+	"parallel":    pwf.ParallelWorkload(1),
+	"unbounded":   pwf.UnboundedWorkload(0),
+	"stack":       pwf.StackWorkload(),
+	"queue":       pwf.QueueWorkload(),
+	"rcu":         pwf.RCUWorkload(),
+	"lfuniversal": pwf.LFUniversalWorkload(),
 }
 
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pwfsweep", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		algos      = fs.String("algos", "scu,fetchinc,parallel,unbounded,stack,queue", "comma-separated workloads: scu, fetchinc, parallel, unbounded, stack, queue")
+		algos      = fs.String("algos", "scu,fetchinc,parallel,unbounded,stack,queue", "comma-separated workloads: scu, fetchinc, parallel, unbounded, stack, queue, rcu, lfuniversal")
 		scheds     = fs.String("scheds", "uniform,sticky:0.5,lottery", "comma-separated schedulers (pwfsim -sched grammar)")
 		ns         = fs.String("n", "2,4,8,16,32,64", "comma-separated process counts")
 		steps      = fs.Uint64("steps", 1_000_000, "measurement window per point, in system steps")
@@ -122,6 +124,14 @@ func run(args []string, out, errOut io.Writer) error {
 		Workers:       *workers,
 		BatchFamilies: true,
 		ReplicaBatch:  *width,
+	}
+	if *width > 1 {
+		// Surface silent scalar fallbacks (once per distinct reason) so
+		// a user who asked for replica batching learns when it did
+		// nothing for part of the grid.
+		cfg.OnBatchFallback = func(reason string) {
+			fmt.Fprintf(errOut, "pwfsweep: replica batching fell back to scalar: %s\n", reason)
+		}
 	}
 	total := len(jobs)
 
@@ -199,7 +209,7 @@ func buildJobs(algos, scheds, ns string, steps uint64, warmup float64, seeds int
 		name = strings.TrimSpace(name)
 		w, ok := workloadByName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown algorithm %q (have: scu, fetchinc, parallel, unbounded, stack, queue)", name)
+			return nil, fmt.Errorf("unknown algorithm %q (have: scu, fetchinc, parallel, unbounded, stack, queue, rcu, lfuniversal)", name)
 		}
 		workloads = append(workloads, w)
 		algoNames = append(algoNames, name)

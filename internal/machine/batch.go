@@ -40,6 +40,15 @@ type BatchGroup interface {
 	N() int
 }
 
+// BatchChecker is implemented by batch groups that carry post-run
+// invariant checks — linearizability witnesses, pool-exhaustion
+// errors — mirroring the scalar workloads' check functions.
+// CheckReplica(r) returns the error replica r's scalar counterpart
+// would have reported after the same run, or nil.
+type BatchChecker interface {
+	CheckReplica(r int) error
+}
+
 // BatchSim errors.
 var (
 	ErrBatchMismatch = errors.New("machine: batch group and drawer disagree on shape")

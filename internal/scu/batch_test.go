@@ -11,35 +11,136 @@ import (
 	"pwf/internal/shmem"
 )
 
+// scalarRun is one freshly built scalar replica: its processes, its
+// shared memory (already initialized when the workload needs it), and
+// the post-run invariant check when the workload has one.
+type scalarRun struct {
+	procs []machine.Process
+	mem   *shmem.Memory
+	check func() error
+}
+
 // groupCase wires one workload's scalar and batched forms.
 type groupCase struct {
 	name   string
-	layout int
-	scalar func(n int) ([]machine.Process, error)
+	scalar func(n int) (scalarRun, error)
 	batch  func(k, n int) (machine.BatchGroup, error)
 }
 
+// simpleScalar adapts the register-only workloads, whose memory is a
+// zeroed layout and whose group constructor is independent of it.
+func simpleScalar(layout int, group func(n int) ([]machine.Process, error)) func(n int) (scalarRun, error) {
+	return func(n int) (scalarRun, error) {
+		procs, err := group(n)
+		if err != nil {
+			return scalarRun{}, err
+		}
+		mem, err := shmem.New(layout)
+		return scalarRun{procs: procs, mem: mem}, err
+	}
+}
+
+// testPool is the per-process node pool of the pointer-based cases:
+// small enough that a 5000-step run recycles slots through the
+// precise-GC scan many times over.
+const testPool = 8
+
+// rcuReaders mirrors sweep's read-mostly split (~3/4 readers).
+func rcuReaders(n int) int { return n - 1 - (n-1)/4 }
+
 func groupCases() []groupCase {
+	counterOps := func(pid int, seq int64) int64 { return 1 }
 	return []groupCase{
 		{
-			"scu-q0-s1", SCULayout(1),
-			func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 0, 1, 0) },
+			"scu-q0-s1",
+			simpleScalar(SCULayout(1), func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 0, 1, 0) }),
 			func(k, n int) (machine.BatchGroup, error) { return NewSCUBatch(k, n, 0, 1) },
 		},
 		{
-			"scu-q2-s3", SCULayout(3),
-			func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 2, 3, 0) },
+			"scu-q2-s3",
+			simpleScalar(SCULayout(3), func(n int) ([]machine.Process, error) { return NewSCUGroup(n, 2, 3, 0) }),
 			func(k, n int) (machine.BatchGroup, error) { return NewSCUBatch(k, n, 2, 3) },
 		},
 		{
-			"parallel-q4", 1,
-			func(n int) ([]machine.Process, error) { return NewParallelGroup(n, 4, 0) },
+			"parallel-q4",
+			simpleScalar(1, func(n int) ([]machine.Process, error) { return NewParallelGroup(n, 4, 0) }),
 			func(k, n int) (machine.BatchGroup, error) { return NewParallelBatch(k, n, 4) },
 		},
 		{
-			"fetchinc", FetchIncLayout,
-			func(n int) ([]machine.Process, error) { return NewFetchIncGroup(n, 0) },
+			"fetchinc",
+			simpleScalar(FetchIncLayout, func(n int) ([]machine.Process, error) { return NewFetchIncGroup(n, 0) }),
 			func(k, n int) (machine.BatchGroup, error) { return NewFetchIncBatch(k, n) },
+		},
+		{
+			"unbounded",
+			simpleScalar(UnboundedLayout, func(n int) ([]machine.Process, error) { return NewUnboundedGroup(n, 0, 0) }),
+			func(k, n int) (machine.BatchGroup, error) { return NewUnboundedBatch(k, n, 0) },
+		},
+		{
+			"stack",
+			func(n int) (scalarRun, error) {
+				st, err := NewStack(n, testPool, 0)
+				if err != nil {
+					return scalarRun{}, err
+				}
+				mem, err := shmem.New(StackLayout(n, testPool))
+				if err != nil {
+					return scalarRun{}, err
+				}
+				procs, err := st.Processes()
+				return scalarRun{procs: procs, mem: mem, check: st.Check}, err
+			},
+			func(k, n int) (machine.BatchGroup, error) { return NewStackBatch(k, n, testPool) },
+		},
+		{
+			"queue",
+			func(n int) (scalarRun, error) {
+				qu, err := NewQueue(n, testPool, 0)
+				if err != nil {
+					return scalarRun{}, err
+				}
+				mem, err := shmem.New(QueueLayout(n, testPool))
+				if err != nil {
+					return scalarRun{}, err
+				}
+				qu.Init(mem)
+				procs, err := qu.Processes()
+				return scalarRun{procs: procs, mem: mem, check: qu.Check}, err
+			},
+			func(k, n int) (machine.BatchGroup, error) { return NewQueueBatch(k, n, testPool) },
+		},
+		{
+			"rcu",
+			func(n int) (scalarRun, error) {
+				readers := rcuReaders(n)
+				r, err := NewRCU(n, readers, testPool, 0)
+				if err != nil {
+					return scalarRun{}, err
+				}
+				mem, err := shmem.New(RCULayout(n-readers, testPool))
+				if err != nil {
+					return scalarRun{}, err
+				}
+				procs, err := r.Processes()
+				return scalarRun{procs: procs, mem: mem, check: r.Check}, err
+			},
+			func(k, n int) (machine.BatchGroup, error) { return NewRCUBatch(k, n, rcuReaders(n), testPool) },
+		},
+		{
+			"lfuniversal",
+			func(n int) (scalarRun, error) {
+				u, err := NewLFUniversal(CounterObject{}, n, 0)
+				if err != nil {
+					return scalarRun{}, err
+				}
+				mem, err := shmem.New(LFUniversalLayout)
+				if err != nil {
+					return scalarRun{}, err
+				}
+				procs, err := u.Processes(counterOps)
+				return scalarRun{procs: procs, mem: mem, check: u.Check}, err
+			},
+			func(k, n int) (machine.BatchGroup, error) { return NewLFUniversalBatch(CounterObject{}, k, n, counterOps) },
 		},
 	}
 }
@@ -72,19 +173,17 @@ func TestBatchSimMatchesScalarSims(t *testing.T) {
 				}
 				sims := make([]*machine.Sim, k)
 				schs := make([]sched.Scheduler, k)
+				checks := make([]func() error, k)
 				for r := 0; r < k; r++ {
-					procs, err := tc.scalar(n)
+					sr, err := tc.scalar(n)
 					if err != nil {
 						t.Fatal(err)
 					}
-					mem, err := shmem.New(tc.layout)
-					if err != nil {
-						t.Fatal(err)
-					}
+					checks[r] = sr.check
 					if schs[r], err = sched.NewUniform(n, rng.New(seeds[r])); err != nil {
 						t.Fatal(err)
 					}
-					if sims[r], err = machine.New(mem, procs, schs[r]); err != nil {
+					if sims[r], err = machine.New(sr.mem, sr.procs, schs[r]); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -123,6 +222,29 @@ func TestBatchSimMatchesScalarSims(t *testing.T) {
 
 				for r := 0; r < k; r++ {
 					compareReplica(t, bs, sims[r], r)
+				}
+
+				// The batched form must expose per-replica invariant
+				// checks exactly when the scalar workload has one, and
+				// both must agree — message-for-message.
+				chk, hasBatchCheck := group.(machine.BatchChecker)
+				if hasBatchCheck != (checks[0] != nil) {
+					t.Fatalf("BatchChecker = %v, scalar check = %v", hasBatchCheck, checks[0] != nil)
+				}
+				if hasBatchCheck {
+					for r := 0; r < k; r++ {
+						berr, serr := chk.CheckReplica(r), checks[r]()
+						bmsg, smsg := "", ""
+						if berr != nil {
+							bmsg = berr.Error()
+						}
+						if serr != nil {
+							smsg = serr.Error()
+						}
+						if bmsg != smsg {
+							t.Errorf("replica %d: CheckReplica = %q, scalar check %q", r, bmsg, smsg)
+						}
+					}
 				}
 			})
 		}
@@ -171,6 +293,79 @@ func compareReplica(t *testing.T, bs *machine.BatchSim, s *machine.Sim, r int) {
 	}
 }
 
+// TestStepPathsZeroAllocs pins the steady-state allocation contract
+// of every workload with a batched form: after a warmup that lets the
+// shadow-structure capacities stabilize, the replica-batched StepBatch
+// loop allocates no more than its scalar counterparts do — zero for
+// every workload whose scalar loop is allocation-free. The pointer-
+// based forms recycle pool slots, never heap nodes; the residual
+// scalar allocations are pre-existing verification bookkeeping (the
+// queue's sliding shadow FIFO, the universal construction's response
+// log), which the batched forms must not exceed per replica.
+func TestStepPathsZeroAllocs(t *testing.T) {
+	const (
+		n = 9
+		k = 4
+	)
+	for _, tc := range groupCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			sr, err := tc.scalar(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch, err := sched.NewUniform(n, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := machine.New(sr.mem, sr.procs, sch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(5000); err != nil {
+				t.Fatal(err)
+			}
+			scalarAllocs := testing.AllocsPerRun(50, func() {
+				if err := sim.Run(200); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			group, err := tc.batch(k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeds := make([]uint64, k)
+			for r := range seeds {
+				seeds[r] = uint64(7 + r)
+			}
+			drawer, err := sched.NewUniformBatch(n, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := machine.NewBatchSim(group, drawer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.Run(5000); err != nil {
+				t.Fatal(err)
+			}
+			batchAllocs := testing.AllocsPerRun(50, func() {
+				if err := bs.Run(200); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			if scalarAllocs == 0 && batchAllocs != 0 {
+				t.Errorf("batched Run allocated %v/run, scalar 0", batchAllocs)
+			}
+			if batchAllocs > float64(k)*scalarAllocs {
+				t.Errorf("batched Run allocated %v/run for %d replicas, scalar %v/run each",
+					batchAllocs, k, scalarAllocs)
+			}
+		})
+	}
+}
+
 // TestBatchGroupErrors exercises the constructor edges.
 func TestBatchGroupErrors(t *testing.T) {
 	for _, fn := range []func() error{
@@ -182,6 +377,19 @@ func TestBatchGroupErrors(t *testing.T) {
 		func() error { _, err := NewParallelBatch(0, 4, 1); return err },
 		func() error { _, err := NewFetchIncBatch(0, 4); return err },
 		func() error { _, err := NewFetchIncBatch(2, 0); return err },
+		func() error { _, err := NewStackBatch(0, 4, 8); return err },
+		func() error { _, err := NewStackBatch(2, 0, 8); return err },
+		func() error { _, err := NewStackBatch(2, 4, 0); return err },
+		func() error { _, err := NewQueueBatch(0, 4, 8); return err },
+		func() error { _, err := NewQueueBatch(2, 4, -1); return err },
+		func() error { _, err := NewRCUBatch(2, 4, 2, 0); return err },
+		func() error { _, err := NewRCUBatch(2, 4, -1, 8); return err },
+		func() error { _, err := NewRCUBatch(2, 4, 4, 8); return err },
+		func() error { _, err := NewUnboundedBatch(0, 4, 0); return err },
+		func() error { _, err := NewUnboundedBatch(2, 4, -1); return err },
+		func() error { _, err := NewLFUniversalBatch(nil, 2, 4, func(int, int64) int64 { return 1 }); return err },
+		func() error { _, err := NewLFUniversalBatch(CounterObject{}, 2, 4, nil); return err },
+		func() error { _, err := NewLFUniversalBatch(CounterObject{}, 2, 0, func(int, int64) int64 { return 1 }); return err },
 	} {
 		if err := fn(); !errors.Is(err, ErrBadParams) {
 			t.Errorf("constructor edge: err = %v, want ErrBadParams", err)

@@ -54,6 +54,11 @@ func (u *LFUniversal) Violations() int { return u.violations }
 // Ops returns the number of committed operations.
 func (u *LFUniversal) Ops() uint64 { return u.ops }
 
+// Check reports the post-run invariant error (shadow disagreements),
+// byte-identical to what the batched form's CheckReplica reports for
+// the same run.
+func (u *LFUniversal) Check() error { return lfuCheck(u.violations) }
+
 // State returns the shadow sequential state.
 func (u *LFUniversal) State() int64 { return u.state }
 

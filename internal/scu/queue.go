@@ -85,6 +85,11 @@ func (q *Queue) ref(slot int) int64 { return q.tags[slot]<<20 | int64(slot+1) }
 // Init), if any.
 func (q *Queue) Err() error { return q.err }
 
+// Check reports the post-run invariant error (linearizability
+// violations or pool exhaustion), byte-identical to what the batched
+// form's CheckReplica reports for the same run.
+func (q *Queue) Check() error { return queueCheck(q.violations, q.err) }
+
 // Violations returns the number of dequeues that disagreed with the
 // shadow FIFO.
 func (q *Queue) Violations() int { return q.violations }

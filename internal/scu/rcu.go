@@ -91,6 +91,11 @@ func (r *RCU) Writes() uint64 { return r.writes }
 // Err reports pool exhaustion.
 func (r *RCU) Err() error { return r.err }
 
+// Check reports the post-run invariant error (stale-read violations
+// or pool exhaustion), byte-identical to what the batched form's
+// CheckReplica reports for the same run.
+func (r *RCU) Check() error { return rcuCheck(r.violations, r.err) }
+
 func (r *RCU) allocate(updater int) int {
 	lo := updater * r.poolSize
 	for k := 0; k < r.poolSize; k++ {

@@ -112,6 +112,11 @@ func (st *Stack) heldByAny(slot int) bool {
 // Err reports the first structural error (pool exhaustion), if any.
 func (st *Stack) Err() error { return st.err }
 
+// Check reports the post-run invariant error (linearizability
+// violations or pool exhaustion), byte-identical to what the batched
+// form's CheckReplica reports for the same run.
+func (st *Stack) Check() error { return stackCheck(st.violations, st.err) }
+
 // Violations returns the number of pops whose value disagreed with the
 // shadow stack — always 0 for a correct simulation.
 func (st *Stack) Violations() int { return st.violations }

@@ -107,6 +107,10 @@ type Config struct {
 	// Cache memoizes exact-chain constructions across sweeps; nil
 	// selects the process-wide sweep.DefaultCache.
 	Cache *sweep.ChainCache
+	// Log, when non-nil, receives printf-style operational notices —
+	// currently the once-per-reason replica-batching fallback lines.
+	// Nil discards them.
+	Log func(format string, args ...any)
 
 	// gate, when non-nil, stalls the executor before each sweep until
 	// a receive succeeds; tests use it to back the queue up
@@ -754,6 +758,13 @@ func (s *Server) executor() {
 	}
 }
 
+// logf forwards one operational notice to Config.Log, if set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
 // failQueued marks every still-queued sweep failed during shutdown.
 func (s *Server) failQueued() {
 	for {
@@ -802,7 +813,11 @@ func (s *Server) execute(st *sweepState) {
 		Cache:         s.cache,
 		BatchFamilies: true,
 		ReplicaBatch:  replicaBatchWidth,
-		Context:       s.ctx,
+		Registry:      s.reg,
+		OnBatchFallback: func(reason string) {
+			s.logf("sweep %s: replica batching fell back to scalar: %s", st.id, reason)
+		},
+		Context: s.ctx,
 		OnResult: func(r sweep.Result) {
 			line, mErr := api.MarshalResult(api.ResultFromSweep(r))
 			if mErr != nil {

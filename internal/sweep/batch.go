@@ -18,12 +18,28 @@ var errNoBatchForm = errors.New("sweep: no batched form for this job shape")
 // path: the workload has a struct-of-arrays form and nothing wants to
 // observe individual steps or completions.
 func batchable(cfg Config, job Job) bool {
+	return batchFallbackReason(cfg, job) == ""
+}
+
+// batchFallbackReason explains why a point cannot run on the
+// replica-batched path, or returns "" when it can. The reasons are
+// surfaced through Config.OnBatchFallback so users learn when replica
+// batching silently did nothing.
+func batchFallbackReason(cfg Config, job Job) string {
 	switch job.Workload.Kind {
-	case SCU, Parallel, FetchInc:
+	case SCU, Parallel, FetchInc, Unbounded, Stack, Queue, RCU, LFUniversal:
 	default:
-		return false
+		return fmt.Sprintf("workload %q has no batched form", job.Workload.Kind)
 	}
-	return job.CompletionHook == nil && job.Recorder == nil && cfg.Recorder == nil
+	switch {
+	case job.CompletionHook != nil:
+		return "job has a per-job completion hook"
+	case job.Recorder != nil:
+		return "job has a per-job recorder"
+	case cfg.Recorder != nil:
+		return "sweep has a recorder observing step-level telemetry"
+	}
+	return ""
 }
 
 // buildBatchDrawer constructs the batched scheduler for n processes
@@ -78,6 +94,18 @@ func buildBatchGroup(w Workload, k, n int) (machine.BatchGroup, error) {
 		return scu.NewParallelBatch(k, n, w.Q)
 	case FetchInc:
 		return scu.NewFetchIncBatch(k, n)
+	case Unbounded:
+		return scu.NewUnboundedBatch(k, n, w.WaitFactor)
+	case Stack:
+		return scu.NewStackBatch(k, n, w.pool(64))
+	case Queue:
+		return scu.NewQueueBatch(k, n, w.pool(64))
+	case RCU:
+		readers := n - 1 - (n-1)/4 // read-mostly: ~3/4 readers, as Workload.build
+		return scu.NewRCUBatch(k, n, readers, w.pool(64))
+	case LFUniversal:
+		return scu.NewLFUniversalBatch(scu.CounterObject{}, k, n,
+			func(pid int, seq int64) int64 { return 1 })
 	default:
 		return nil, fmt.Errorf("%w: workload %q", errNoBatchForm, w.Kind)
 	}
@@ -149,6 +177,7 @@ func runJobBatch(jobs []Job, seeds []uint64, cache *ChainCache) ([]Result, []err
 	if job.Exact {
 		exact, exactOK = exactLatency(job, cache)
 	}
+	chk, _ := group.(machine.BatchChecker)
 	share := time.Since(began) / time.Duration(k)
 	results := make([]Result, k)
 	perr := make([]error, k)
@@ -174,6 +203,15 @@ func runJobBatch(jobs []Job, seeds []uint64, cache *ChainCache) ([]Result, []err
 		res.Latencies = lat
 		res.ProcCompletions = sim.Completions(r)
 		res.Starved = sim.StarvedProcesses(r)
+		if chk != nil {
+			// Post-run invariant check, mirroring RunJob's built.check
+			// call at the same position: a failing replica yields a
+			// zero Result and the check error.
+			if cerr := chk.CheckReplica(r); cerr != nil {
+				perr[r] = cerr
+				continue
+			}
+		}
 		if job.Exact {
 			res.Exact, res.ExactOK = exact, exactOK
 		}

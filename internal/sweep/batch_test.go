@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -33,8 +34,15 @@ func equivalenceGrid() []Job {
 		{Kind: SCU, Q: 2, S: 3},
 		{Kind: Parallel, Q: 3},
 		{Kind: FetchInc},
-		{Kind: Stack},     // no batched form: exercises the fallback
-		{Kind: Unbounded}, // no batched form: exercises the fallback
+		{Kind: Unbounded},
+		{Kind: Stack},
+		{Kind: Stack, PoolSize: 8}, // small pool: recycles slots through the precise-GC scan
+		{Kind: Queue},
+		{Kind: Queue, PoolSize: 8},
+		{Kind: RCU},
+		{Kind: LFUniversal},
+		{Kind: List},        // no batched form: exercises the fallback
+		{Kind: WFUniversal}, // no batched form: exercises the fallback
 	}
 	var jobs []Job
 	for _, sc := range scheds {
@@ -82,6 +90,81 @@ func TestReplicaBatchMatchesScalar(t *testing.T) {
 					width, i, describe(scalar[i].Job), b, a)
 			}
 		}
+	}
+}
+
+// TestBatchFallbackObservability pins the execution-path telemetry of
+// a batched sweep: points that coalesce onto the replica-batched core
+// count into sweep_batch_jobs, points that cannot batch count into
+// sweep_batch_fallbacks, and OnBatchFallback reports each distinct
+// reason exactly once no matter how many points share it.
+func TestBatchFallbackObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var reasons []string
+	jobs := []Job{
+		{Workload: Workload{Kind: SCU, S: 1}, N: 5, Steps: 300, Replicas: 4},
+		{Workload: Workload{Kind: List}, N: 5, Steps: 300, Replicas: 3},
+		{Workload: Workload{Kind: WFUniversal}, N: 5, Steps: 300, Replicas: 2},
+	}
+	if _, err := Run(Config{
+		Jobs: jobs, Seed: 5, Workers: 2, ReplicaBatch: 8,
+		Registry: reg,
+		OnBatchFallback: func(reason string) {
+			mu.Lock()
+			reasons = append(reasons, reason)
+			mu.Unlock()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sweep_batch_jobs").Load(); got != 4 {
+		t.Errorf("sweep_batch_jobs = %d, want 4", got)
+	}
+	if got := reg.Counter("sweep_batch_fallbacks").Load(); got != 5 {
+		t.Errorf("sweep_batch_fallbacks = %d, want 5", got)
+	}
+	if len(reasons) != 2 {
+		t.Fatalf("OnBatchFallback reasons = %q, want one per workload kind", reasons)
+	}
+	for _, r := range reasons {
+		if !strings.Contains(r, "no batched form") {
+			t.Errorf("reason %q does not name the missing batched form", r)
+		}
+	}
+
+	// A scalar sweep of the same grid must leave the registry silent.
+	reg2 := obs.NewRegistry()
+	if _, err := Run(Config{Jobs: jobs, Seed: 5, Workers: 2, Registry: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("sweep_batch_jobs").Load() + reg2.Counter("sweep_batch_fallbacks").Load(); got != 0 {
+		t.Errorf("scalar sweep touched the batch counters: %d", got)
+	}
+}
+
+// TestBatchErrorPathMatchesScalar pins the failure side of the
+// byte-identity contract: a workload whose invariant check fails — a
+// queue whose two-node pools exhaust — must surface the identical
+// wrapped error from the batched path as from the scalar path, rather
+// than succeeding quietly or failing with a different message.
+func TestBatchErrorPathMatchesScalar(t *testing.T) {
+	jobs := []Job{{
+		Workload: Workload{Kind: Queue, PoolSize: 2},
+		N:        7,
+		Steps:    3000,
+		Replicas: 4,
+	}}
+	_, serr := Run(Config{Jobs: jobs, Seed: 77, Workers: 1})
+	if serr == nil {
+		t.Fatal("scalar run with a 2-node queue pool succeeded; want pool exhaustion")
+	}
+	_, berr := Run(Config{Jobs: jobs, Seed: 77, Workers: 1, ReplicaBatch: 4})
+	if berr == nil {
+		t.Fatal("batched run with a 2-node queue pool succeeded; want pool exhaustion")
+	}
+	if serr.Error() != berr.Error() {
+		t.Errorf("batched error %q, scalar error %q", berr, serr)
 	}
 }
 

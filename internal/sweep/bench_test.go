@@ -73,6 +73,26 @@ func BenchmarkSweepSteps(b *testing.B) {
 			})
 		}
 	}
+	// The pointer-based workloads with replica-batched SoA forms, at
+	// the headline process count. cmd/pwfbench measures the same kinds
+	// across the full n list into BENCH_sweep.json.
+	for _, wk := range []Workload{
+		{Kind: Stack}, {Kind: Queue}, {Kind: RCU}, {Kind: Unbounded}, {Kind: LFUniversal},
+	} {
+		job := Job{
+			Workload: wk,
+			N:        1024,
+			Sched:    SchedulerSpec{Kind: SchedUniform},
+			Steps:    benchStepsPerJob,
+			Crash:    1,
+		}
+		b.Run(fmt.Sprintf("uniform/%s/n=1024/scalar", wk.Kind), func(b *testing.B) {
+			benchSweepStepsScalar(b, job)
+		})
+		b.Run(fmt.Sprintf("uniform/%s/n=1024/batch", wk.Kind), func(b *testing.B) {
+			benchSweepStepsBatch(b, job)
+		})
+	}
 }
 
 const (

@@ -244,6 +244,18 @@ type Config struct {
 	// safe for concurrent use; events from concurrently executing jobs
 	// interleave.
 	Recorder obs.Recorder
+	// Registry receives the sweep's execution-path counters when
+	// ReplicaBatch > 1: sweep_batch_jobs counts points executed on the
+	// replica-batched path, sweep_batch_fallbacks points that fell back
+	// to scalar execution despite batching being requested. Nil selects
+	// obs.Default.
+	Registry *obs.Registry
+	// OnBatchFallback, when non-nil and ReplicaBatch > 1, is called at
+	// most once per distinct reason when points fall back to scalar
+	// execution — a workload without a batched form, a per-job hook or
+	// recorder, or a batch construction failure. Calls are serialized
+	// but may come from any worker.
+	OnBatchFallback func(reason string)
 }
 
 // job returns job i with sweep-level overrides applied.
@@ -475,6 +487,38 @@ func Run(cfg Config) ([]Result, error) {
 
 		resultQ, progressQ cbQueue
 	)
+	// Batch-path observability: counters for points that ran batched vs
+	// fell back to scalar, and a per-reason once-only fallback callback.
+	// Lone batchable points (nothing same-shaped to coalesce with) count
+	// as neither — batching was not applicable, not bypassed.
+	var (
+		batchJobs, batchFallbacks *obs.Counter
+		noteFallback              func(reason string)
+	)
+	if cfg.ReplicaBatch > 1 {
+		reg := cfg.Registry
+		if reg == nil {
+			reg = obs.Default
+		}
+		batchJobs = reg.Counter("sweep_batch_jobs")
+		batchFallbacks = reg.Counter("sweep_batch_fallbacks")
+		var fmu sync.Mutex
+		seen := make(map[string]bool)
+		noteFallback = func(reason string) {
+			if reason == "" {
+				return
+			}
+			fmu.Lock()
+			defer fmu.Unlock()
+			if seen[reason] {
+				return
+			}
+			seen[reason] = true
+			if cfg.OnBatchFallback != nil {
+				cfg.OnBatchFallback(reason)
+			}
+		}
+	}
 	// finish publishes one point's outcome: the checkpoint commit
 	// first (a completed point that cannot be recorded fails, not
 	// lies), bookkeeping under mu, callbacks through their queues
@@ -528,6 +572,12 @@ func Run(cfg Config) ([]Result, error) {
 			defer wg.Done()
 			for grp := range idx {
 				if len(grp) == 1 {
+					if batchFallbacks != nil {
+						if reason := batchFallbackReason(cfg, points[grp[0]]); reason != "" {
+							batchFallbacks.Inc()
+							noteFallback(reason)
+						}
+					}
 					runScalar(grp[0])
 					continue
 				}
@@ -542,10 +592,17 @@ func Run(cfg Config) ([]Result, error) {
 					// No batched form (or batch construction failed):
 					// run the group's points on the scalar path, which
 					// either succeeds or reports the real error.
+					if batchFallbacks != nil {
+						batchFallbacks.Add(uint64(len(grp)))
+						noteFallback(err.Error())
+					}
 					for _, i := range grp {
 						runScalar(i)
 					}
 					continue
+				}
+				if batchJobs != nil {
+					batchJobs.Add(uint64(len(grp)))
 				}
 				for r, i := range grp {
 					batchRes[r].Index = i

@@ -134,13 +134,7 @@ func (w Workload) build(n int) (built, error) {
 			return built{}, err
 		}
 		procs, err := st.Processes()
-		return built{mem: mem, procs: procs, check: func() error {
-			if st.Violations() != 0 || st.Err() != nil {
-				return fmt.Errorf("sweep: stack misbehaved: %d violations, %v",
-					st.Violations(), st.Err())
-			}
-			return nil
-		}}, err
+		return built{mem: mem, procs: procs, check: st.Check}, err
 	case Queue:
 		pool := w.pool(64)
 		qu, err := scu.NewQueue(n, pool, 0)
@@ -153,7 +147,7 @@ func (w Workload) build(n int) (built, error) {
 		}
 		qu.Init(mem)
 		procs, err := qu.Processes()
-		return built{mem: mem, procs: procs}, err
+		return built{mem: mem, procs: procs, check: qu.Check}, err
 	case RCU:
 		pool := w.pool(64)
 		readers := n - 1 - (n-1)/4 // read-mostly: ~3/4 readers
@@ -166,7 +160,7 @@ func (w Workload) build(n int) (built, error) {
 			return built{}, err
 		}
 		procs, err := r.Processes()
-		return built{mem: mem, procs: procs}, err
+		return built{mem: mem, procs: procs, check: r.Check}, err
 	case List:
 		const keyspace = 32
 		pool := w.pool(64)
@@ -208,7 +202,7 @@ func (w Workload) build(n int) (built, error) {
 			return built{}, err
 		}
 		procs, err := u.Processes(func(pid int, seq int64) int64 { return 1 })
-		return built{mem: mem, procs: procs}, err
+		return built{mem: mem, procs: procs, check: u.Check}, err
 	case WFUniversal:
 		pool := w.pool(8)
 		u, err := scu.NewWFUniversal(scu.CounterObject{}, n, pool, 0)

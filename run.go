@@ -48,6 +48,14 @@ func StackWorkload() Workload { return Workload{Kind: sweep.Stack} }
 // QueueWorkload describes the simulated Michael–Scott queue.
 func QueueWorkload() Workload { return Workload{Kind: sweep.Queue} }
 
+// RCUWorkload describes the read-mostly RCU-style workload (~3/4
+// readers, CAS-published snapshots).
+func RCUWorkload() Workload { return Workload{Kind: sweep.RCU} }
+
+// LFUniversalWorkload describes the lock-free universal construction
+// applied to a counter object.
+func LFUniversalWorkload() Workload { return Workload{Kind: sweep.LFUniversal} }
+
 // UniformSpec describes the paper's uniform stochastic scheduler.
 func UniformSpec() SchedulerSpec { return SchedulerSpec{Kind: sweep.SchedUniform} }
 
